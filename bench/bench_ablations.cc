@@ -1,0 +1,200 @@
+// E9: ablations of the design choices DESIGN.md calls out.
+//
+//  A. Wire bandwidth: the middleware-vs-DBMS split is a transfer-cost
+//     tradeoff; sweeping the simulated link shows how the Query-1 plan gap
+//     and the optimizer's decision respond (the paper's Oracle/JDBC link is
+//     one point on this curve).
+//  B. Semantic temporal selectivity (§3.3) on/off: the cardinality the
+//     optimizer believes for a windowed scan, with the naive estimator's
+//     factor-of-N error surfacing directly in the estimates.
+//  C. Argument reduction (heuristic group 4): Query-1-style aggregation
+//     with and without a window selection pushed below ξ^T — the measured
+//     effect of the rule that distinguishes Query 2's Plans 1 and 5.
+
+#include "common/date.h"
+#include "bench_util.h"
+
+namespace tango {
+namespace bench {
+namespace {
+
+using optimizer::Algorithm;
+using optimizer::PhysPlanPtr;
+
+bool Has(const PhysPlanPtr& plan, Algorithm alg) {
+  if (plan->algorithm == alg) return true;
+  for (const auto& c : plan->children) {
+    if (Has(c, alg)) return true;
+  }
+  return false;
+}
+
+int Main() {
+  std::printf("=== E9: design-choice ablations ===\n\n");
+  ShapeChecks checks;
+
+  // ---------------- A: wire bandwidth ----------------
+  std::printf("A. wire bandwidth vs Query-1 plans (POSITION = %zu rows)\n",
+              Scaled(40000));
+  std::printf("%12s %12s %12s %10s\n", "MB/s", "TAGGR^M (s)", "TAGGR^D (s)",
+              "optimizer");
+  double slow_gap = 0, fast_gap = 0;
+  for (double mbps : {2.0, 25.0, 400.0}) {
+    dbms::Engine db;
+    workload::UisOptions opts;
+    opts.position_rows = Scaled(40000);
+    opts.employee_rows = 1;
+    if (!workload::LoadUis(&db, opts).ok()) return 1;
+
+    Middleware::Config config;
+    config.wire.bytes_per_second = mbps * 1e6;
+    Middleware mw(&db, config);
+    cost::Calibrator calibrator(&mw.connection());
+    if (!calibrator.Calibrate(&mw.cost_model()).ok()) return 1;
+
+    const Schema schema =
+        db.catalog().GetTable("POSITION").ValueOrDie()->schema();
+    auto scan = algebra::Scan("POSITION", schema).ValueOrDie();
+    auto agg = algebra::TAggregate(scan, {"POSID"},
+                                   {{AggFunc::kCount, "POSID", "CNT"}})
+                   .ValueOrDie();
+    const std::vector<algebra::SortSpec> keys = {{"POSID", true}, {"T1", true}};
+    auto scan_d = Node(Algorithm::kScanD, scan, {});
+    auto plan_m = Node(
+        Algorithm::kTAggrM, agg,
+        {Node(Algorithm::kTransferM,
+              TransferOpOf(algebra::OpKind::kTransferM, scan->schema),
+              {Node(Algorithm::kSortD, SortOpOf(scan->schema, keys),
+                    {scan_d})})});
+    auto plan_d = Node(
+        Algorithm::kTransferM,
+        TransferOpOf(algebra::OpKind::kTransferM, agg->schema),
+        {Node(Algorithm::kSortD, SortOpOf(agg->schema, keys),
+              {Node(Algorithm::kTAggrD, agg, {scan_d})})});
+
+    const auto [tm, rows_m] = Run(&mw, plan_m);
+    const auto [td, rows_d] = Run(&mw, plan_d);
+    auto sorted = algebra::Sort(agg, {{"POSID", true}}).ValueOrDie();
+    auto prepared =
+        mw.PrepareLogical(algebra::TransferM(sorted).ValueOrDie());
+    const char* pick =
+        prepared.ok() && Has(prepared.ValueOrDie().plan, Algorithm::kTAggrM)
+            ? "TAGGR^M"
+            : "TAGGR^D";
+    std::printf("%12.0f %12.3f %12.3f %10s\n", mbps, tm, td, pick);
+    if (mbps < 3) slow_gap = td / tm;
+    if (mbps > 100) fast_gap = td / tm;
+    (void)rows_m;
+    (void)rows_d;
+  }
+  checks.Check(fast_gap > slow_gap,
+               "a faster wire widens the middleware's advantage (" +
+                   std::to_string(slow_gap) + "x -> " +
+                   std::to_string(fast_gap) + "x)");
+  checks.Check(slow_gap > 1.0,
+               "middleware aggregation still wins on the slow wire");
+
+  // ---------------- B: semantic temporal selectivity ----------------
+  std::printf("\nB. estimated cardinality of a windowed scan, semantic vs "
+              "naive estimation\n");
+  {
+    // The §3.3 relation: short (7-day) periods are where independent
+    // per-conjunct estimation falls apart.
+    dbms::Engine db;
+    if (!workload::LoadUniformR(&db, "R", Scaled(100000)).ok()) return 1;
+
+    auto estimate = [&](bool semantic) {
+      Middleware::Config config;
+      config.semantic_temporal_selectivity = semantic;
+      Middleware mw(&db, config);
+      const Schema schema = db.catalog().GetTable("R").ValueOrDie()->schema();
+      auto scan = algebra::Scan("R", schema).ValueOrDie();
+      auto pred = Expr::And(
+          Expr::Binary(BinaryOp::kLt, Expr::ColumnRef("T1"),
+                       Expr::Int(date::FromYmd(1997, 2, 8))),
+          Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("T2"),
+                       Expr::Int(date::FromYmd(1997, 2, 1))));
+      auto sel = algebra::Select(scan, pred).ValueOrDie();
+      auto prepared =
+          mw.PrepareLogical(algebra::TransferM(sel).ValueOrDie());
+      return prepared.ok() ? prepared.ValueOrDie().plan->est_cardinality : -1.0;
+    };
+    auto actual = db.Execute(
+        "SELECT COUNT(*) AS C FROM R WHERE T1 < " +
+        std::to_string(date::FromYmd(1997, 2, 8)) + " AND T2 > " +
+        std::to_string(date::FromYmd(1997, 2, 1)));
+    const double act =
+        static_cast<double>(actual.ValueOrDie().rows[0][0].AsInt());
+    const double sem = estimate(true);
+    const double naive = estimate(false);
+    std::printf("   actual %.0f, semantic estimate %.0f (%.2fx), naive "
+                "estimate %.0f (%.2fx)\n",
+                act, sem, sem / act, naive, naive / act);
+    checks.Check(sem / act < 2.0 && sem / act > 0.5,
+                 "semantic estimate within 2x of the actual");
+    checks.Check(naive / act > 10.0,
+                 "naive estimate grossly overestimates (got " +
+                     std::to_string(naive / act) + "x)");
+  }
+
+  // ---------------- C: argument reduction below ξ^T ----------------
+  std::printf("\nC. window selection pushed below the temporal aggregation "
+              "(heuristic group 4)\n");
+  {
+    dbms::Engine db;
+    workload::UisOptions opts;
+    opts.position_rows = Scaled(40000);
+    opts.employee_rows = 1;
+    if (!workload::LoadUis(&db, opts).ok()) return 1;
+    Middleware mw(&db);
+
+    const Schema schema =
+        db.catalog().GetTable("POSITION").ValueOrDie()->schema();
+    auto scan = algebra::Scan("POSITION", schema).ValueOrDie();
+    auto window = Expr::And(
+        Expr::Binary(BinaryOp::kLt, Expr::ColumnRef("T1"),
+                     Expr::Int(date::Jan1(1994))),
+        Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("T2"),
+                     Expr::Int(date::Jan1(1990))));
+    auto sel = algebra::Select(scan, window).ValueOrDie();
+    const std::vector<algebra::AggItem> aggs = {
+        {AggFunc::kCount, "POSID", "CNT"}};
+    auto agg_reduced = algebra::TAggregate(sel, {"POSID"}, aggs).ValueOrDie();
+    auto agg_full = algebra::TAggregate(scan, {"POSID"}, aggs).ValueOrDie();
+    auto top_sel = algebra::Select(agg_full, window).ValueOrDie();
+
+    const std::vector<algebra::SortSpec> keys = {{"POSID", true}, {"T1", true}};
+    auto scan_d = Node(Algorithm::kScanD, scan, {});
+    auto reduced_plan = Node(
+        Algorithm::kFilterM, algebra::Select(agg_reduced, window).ValueOrDie(),
+        {Node(Algorithm::kTAggrM, agg_reduced,
+              {Node(Algorithm::kTransferM,
+                    TransferOpOf(algebra::OpKind::kTransferM, sel->schema),
+                    {Node(Algorithm::kSortD, SortOpOf(sel->schema, keys),
+                          {Node(Algorithm::kSelectD, sel, {scan_d})})})})});
+    auto full_plan = Node(
+        Algorithm::kFilterM, top_sel,
+        {Node(Algorithm::kTAggrM, agg_full,
+              {Node(Algorithm::kTransferM,
+                    TransferOpOf(algebra::OpKind::kTransferM, scan->schema),
+                    {Node(Algorithm::kSortD, SortOpOf(scan->schema, keys),
+                          {scan_d})})})});
+    const auto [t_reduced, rows_r] = Run(&mw, reduced_plan);
+    const auto [t_full, rows_f] = Run(&mw, full_plan);
+    std::printf("   reduced argument: %.3fs (%zu rows); full argument: "
+                "%.3fs (%zu rows)\n",
+                t_reduced, rows_r, t_full, rows_f);
+    checks.Check(t_reduced < t_full,
+                 "pushing the window below the aggregation pays off (" +
+                     std::to_string(t_full / t_reduced) + "x)");
+  }
+
+  std::printf("\n");
+  return checks.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tango
+
+int main() { return tango::bench::Main(); }

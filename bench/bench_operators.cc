@@ -1,0 +1,176 @@
+// E8: operator micro-benchmarks (google-benchmark).
+//
+// * TAGGR^M vs the TAGGR^D SQL shape (the asymmetry behind Figure 8);
+// * TRANSFER^M at different row-prefetch settings (§3.2 observes that the
+//   JDBC row-prefetch affects transfer performance);
+// * direct-path bulk load vs row-at-a-time INSERTs (§3.2's SQL*Loader
+//   discussion);
+// * middleware external sort: in-memory vs spilling runs;
+// * merge join vs the DBMS's hash/merge joins.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dbms/connection.h"
+#include "exec/join.h"
+#include "exec/sort.h"
+#include "exec/taggr.h"
+#include "workload/uis.h"
+
+namespace tango {
+namespace {
+
+Schema ProbeSchema() {
+  return Schema({{"", "G", DataType::kInt},
+                 {"", "V", DataType::kInt},
+                 {"", "T1", DataType::kInt},
+                 {"", "T2", DataType::kInt}});
+}
+
+std::vector<Tuple> ProbeRows(size_t n, int64_t groups) {
+  Rng rng(11);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t t1 = rng.Uniform(0, 3000);
+    rows.push_back({Value(rng.Uniform(0, groups - 1)), Value(rng.Uniform(0, 99)),
+                    Value(t1), Value(t1 + rng.Uniform(1, 300))});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    if (int c = a[0].Compare(b[0]); c != 0) return c < 0;
+    return a[2] < b[2];
+  });
+  return rows;
+}
+
+/// A DBMS preloaded with the probe relation (shared across iterations).
+struct ProbeDb {
+  dbms::Engine db;
+  explicit ProbeDb(size_t n) {
+    (void)db.Execute("CREATE TABLE PROBE (G INT, V INT, T1 INT, T2 INT)");
+    (void)db.BulkLoad("PROBE", ProbeRows(n, 256));
+    (void)db.Execute("ANALYZE PROBE");
+  }
+};
+
+void BM_TAggrMiddleware(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto rows = ProbeRows(n, 256);
+  Schema out({{"", "G", DataType::kInt},
+              {"", "T1", DataType::kInt},
+              {"", "T2", DataType::kInt},
+              {"", "C", DataType::kInt}});
+  for (auto _ : state) {
+    exec::TemporalAggregationCursor agg(
+        std::make_unique<VectorCursor>(ProbeSchema(), rows), {0}, 2, 3,
+        {{AggFunc::kCount, 0, false}}, out);
+    auto result = MaterializeAll(&agg);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_TAggrMiddleware)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_TAggrDbmsSql(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ProbeDb probe(n);
+  const char* q =
+      "SELECT R.G AS G, P.T1 AS T1, P.T2 AS T2, COUNT(*) AS C "
+      "FROM PROBE R, "
+      " (SELECT A.G AS G, A.T AS T1, MIN(B.T) AS T2 "
+      "  FROM (SELECT G, T1 AS T FROM PROBE UNION SELECT G, T2 AS T FROM PROBE) A, "
+      "       (SELECT G, T1 AS T FROM PROBE UNION SELECT G, T2 AS T FROM PROBE) B "
+      "  WHERE A.G = B.G AND A.T < B.T GROUP BY A.G, A.T) P "
+      "WHERE R.G = P.G AND R.T1 <= P.T1 AND P.T2 <= R.T2 "
+      "GROUP BY R.G, P.T1, P.T2";
+  for (auto _ : state) {
+    auto result = probe.db.Execute(q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_TAggrDbmsSql)->Arg(4096)->Arg(16384);
+
+void BM_TransferRowPrefetch(benchmark::State& state) {
+  static ProbeDb probe(32768);
+  dbms::WireConfig wire;
+  wire.row_prefetch = static_cast<size_t>(state.range(0));
+  dbms::Connection conn(&probe.db, wire);
+  for (auto _ : state) {
+    auto cur = conn.ExecuteQuery("SELECT G, V, T1, T2 FROM PROBE");
+    auto rows = MaterializeAll(cur.ValueOrDie().get());
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(32768 * state.iterations());
+}
+BENCHMARK(BM_TransferRowPrefetch)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_BulkLoadVsInsert(benchmark::State& state) {
+  const bool bulk = state.range(0) == 1;
+  const size_t n = 2048;
+  auto rows = ProbeRows(n, 64);
+  dbms::Engine db;
+  dbms::WireConfig wire;
+  dbms::Connection conn(&db, wire);
+  int table_id = 0;
+  for (auto _ : state) {
+    const std::string table = "LOAD_" + std::to_string(table_id++);
+    (void)db.Execute("CREATE TABLE " + table + " (G INT, V INT, T1 INT, T2 INT)");
+    if (bulk) {
+      (void)conn.BulkLoad(table, rows);
+    } else {
+      (void)conn.InsertLoad(table, rows);
+    }
+    (void)db.Execute("DROP TABLE " + table);
+  }
+  state.SetLabel(bulk ? "direct-path (SQL*Loader style)" : "INSERT per row");
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BulkLoadVsInsert)->Arg(1)->Arg(0);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0));
+  auto rows = ProbeRows(65536, 1024);
+  for (auto _ : state) {
+    exec::SortCursor sort(std::make_unique<VectorCursor>(ProbeSchema(), rows),
+                          {{1, true}, {2, true}}, budget);
+    auto out = MaterializeAll(&sort);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(budget >= (64u << 20) ? "in-memory" : "spilling");
+  state.SetItemsProcessed(65536 * state.iterations());
+}
+BENCHMARK(BM_ExternalSort)->Arg(64 << 20)->Arg(512 << 10);
+
+void BM_MergeJoinMiddleware(benchmark::State& state) {
+  auto left = ProbeRows(32768, 512);
+  auto right = ProbeRows(16384, 512);
+  for (auto _ : state) {
+    exec::MergeJoinCursor join(
+        std::make_unique<VectorCursor>(ProbeSchema(), left),
+        std::make_unique<VectorCursor>(ProbeSchema(), right), {0}, {0});
+    auto out = MaterializeAll(&join);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MergeJoinMiddleware);
+
+void BM_JoinDbms(benchmark::State& state) {
+  static ProbeDb probe(32768);
+  const auto method = state.range(0) == 0
+                          ? dbms::SessionConfig::JoinMethod::kHash
+                          : dbms::SessionConfig::JoinMethod::kMerge;
+  probe.db.config().forced_join = method;
+  for (auto _ : state) {
+    auto result = probe.db.Execute(
+        "SELECT A.V FROM PROBE A, PROBE B WHERE A.G = B.G AND A.T1 = B.T2");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(state.range(0) == 0 ? "hash" : "sort-merge");
+}
+BENCHMARK(BM_JoinDbms)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tango
+
+BENCHMARK_MAIN();

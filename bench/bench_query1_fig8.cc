@@ -1,0 +1,162 @@
+// Reproduces Figure 8: Query 1 ("for each position, the number of employees
+// occupying it over time, sorted by position") under three plans, varying
+// the POSITION relation size.
+//
+//   Plan 1: SORT^D in the DBMS, TAGGR^M in the middleware (Fig 7, Plan 1)
+//   Plan 2: SORT^M and TAGGR^M in the middleware (Fig 7, Plan 2)
+//   Plan 3: everything in the DBMS, temporal aggregation as SQL (Plan 3)
+//
+// Expected shape (paper): Plans 1-2 significantly outperform Plan 3 — "up
+// to ten times faster" — and track each other closely; the optimizer picks
+// Plan 1/2 for every size.
+
+#include "bench_util.h"
+
+namespace tango {
+namespace bench {
+namespace {
+
+using optimizer::Algorithm;
+using optimizer::PhysPlanPtr;
+
+struct Query1Plans {
+  algebra::OpPtr scan;
+  algebra::OpPtr agg;
+  PhysPlanPtr plan1, plan2, plan3;
+};
+
+Query1Plans BuildPlans(dbms::Engine* db, const std::string& table) {
+  Query1Plans plans;
+  const Schema schema = db->catalog().GetTable(table).ValueOrDie()->schema();
+  plans.scan = algebra::Scan(table, schema).ValueOrDie();
+  plans.agg =
+      algebra::TAggregate(plans.scan, {"POSID"},
+                          {{AggFunc::kCount, "POSID", "CNT"}})
+          .ValueOrDie();
+  const std::vector<algebra::SortSpec> arg_keys = {{"POSID", true}, {"T1", true}};
+
+  auto scan_d = Node(Algorithm::kScanD, plans.scan, {});
+  // Plan 1: TAGGR^M( T^M( SORT^D( scan ) ) ).
+  plans.plan1 = Node(
+      Algorithm::kTAggrM, plans.agg,
+      {Node(Algorithm::kTransferM,
+            TransferOpOf(algebra::OpKind::kTransferM, plans.scan->schema),
+            {Node(Algorithm::kSortD, SortOpOf(plans.scan->schema, arg_keys),
+                  {scan_d})})});
+  // Plan 2: TAGGR^M( SORT^M( T^M( scan ) ) ).
+  plans.plan2 = Node(
+      Algorithm::kTAggrM, plans.agg,
+      {Node(Algorithm::kSortM, SortOpOf(plans.scan->schema, arg_keys),
+            {Node(Algorithm::kTransferM,
+                  TransferOpOf(algebra::OpKind::kTransferM, plans.scan->schema),
+                  {scan_d})})});
+  // Plan 3: T^M( SORT^D( TAGGR^D( scan ) ) ).
+  plans.plan3 = Node(
+      Algorithm::kTransferM,
+      TransferOpOf(algebra::OpKind::kTransferM, plans.agg->schema),
+      {Node(Algorithm::kSortD, SortOpOf(plans.agg->schema, arg_keys),
+            {Node(Algorithm::kTAggrD, plans.agg, {scan_d})})});
+  return plans;
+}
+
+/// Which of the three plans the optimizer's choice corresponds to.
+std::string ClassifyChoice(const PhysPlanPtr& plan) {
+  std::function<bool(const PhysPlanPtr&, Algorithm)> contains =
+      [&](const PhysPlanPtr& p, Algorithm a) {
+        if (p->algorithm == a) return true;
+        for (const auto& c : p->children) {
+          if (contains(c, a)) return true;
+        }
+        return false;
+      };
+  if (contains(plan, Algorithm::kTAggrD)) return "Plan3";
+  if (contains(plan, Algorithm::kSortM)) return "Plan2";
+  if (contains(plan, Algorithm::kTAggrM)) return "Plan1";
+  return "other";
+}
+
+int Main() {
+  std::printf("=== Figure 8: Query 1 (temporal aggregation), 3 plans ===\n");
+  std::printf("running times in seconds; scale=%.2f\n\n", Scale());
+
+  dbms::Engine db;
+  workload::UisOptions opts;
+
+  const size_t paper_sizes[] = {8000,  17000, 27000, 36000, 46000,
+                                55000, 64000, 74000, 83857};
+
+  std::printf("%10s %10s %10s %10s   %-8s %s\n", "tuples", "plan1", "plan2",
+              "plan3", "chosen", "classes/elements");
+
+  double p1_last = 0, p2_last = 0, p3_last = 0;
+  bool all_agree = true;
+  std::string chosen_last;
+
+  for (size_t raw : paper_sizes) {
+    const size_t n = Scaled(raw);
+    const std::string table = "POSITION_" + std::to_string(raw);
+    if (!workload::LoadPositionVariant(&db, table, n, opts).ok()) {
+      std::fprintf(stderr, "load failed\n");
+      return 1;
+    }
+
+    Middleware mw(&db);
+    Query1Plans plans = BuildPlans(&db, table);
+
+    auto r1 = mw.Execute(plans.plan1);
+    auto r2 = mw.Execute(plans.plan2);
+    auto r3 = mw.Execute(plans.plan3);
+    if (!r1.ok() || !r2.ok() || !r3.ok()) {
+      std::fprintf(stderr, "execution failed: %s %s %s\n",
+                   r1.status().ToString().c_str(),
+                   r2.status().ToString().c_str(),
+                   r3.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t c1 = Checksum(r1.ValueOrDie().rows);
+    all_agree = all_agree && c1 == Checksum(r2.ValueOrDie().rows) &&
+                c1 == Checksum(r3.ValueOrDie().rows);
+
+    // What does the optimizer pick?
+    auto prepared = mw.Prepare(
+        "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM " + table +
+        " GROUP BY PosID OVER TIME ORDER BY PosID");
+    std::string chosen = "ERR";
+    size_t classes = 0, elements = 0;
+    if (prepared.ok()) {
+      chosen = ClassifyChoice(prepared.ValueOrDie().plan);
+      classes = prepared.ValueOrDie().num_classes;
+      elements = prepared.ValueOrDie().num_elements;
+    }
+    chosen_last = chosen;
+
+    p1_last = r1.ValueOrDie().elapsed_seconds;
+    p2_last = r2.ValueOrDie().elapsed_seconds;
+    p3_last = r3.ValueOrDie().elapsed_seconds;
+    std::printf("%10zu %10.3f %10.3f %10.3f   %-8s %zu/%zu\n", n, p1_last,
+                p2_last, p3_last, chosen.c_str(), classes, elements);
+
+    (void)db.Execute("DROP TABLE " + table);
+  }
+
+  std::printf("\nshape checks (paper: middleware aggregation up to 10x "
+              "faster; plans 1-2 close):\n");
+  ShapeChecks checks;
+  checks.Check(all_agree, "all plans produce identical results");
+  const double best_mw = std::min(p1_last, p2_last);
+  checks.Check(p3_last > 3.0 * best_mw,
+               "all-DBMS plan >= 3x slower at the largest size (got " +
+                   std::to_string(p3_last / best_mw) + "x)");
+  checks.Check(std::max(p1_last, p2_last) < 2.5 * best_mw,
+               "plans 1 and 2 within 2.5x of each other");
+  checks.Check(chosen_last == "Plan1" || chosen_last == "Plan2",
+               "optimizer selects a middleware-aggregation plan (got " +
+                   chosen_last + ")");
+  return checks.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tango
+
+int main() { return tango::bench::Main(); }

@@ -1,0 +1,209 @@
+// Reproduces Figure 11(b): Query 4 — a regular join of POSITION and
+// EMPLOYEE ("for each position, list the employee name and address"),
+// varying the POSITION size.
+//
+//   Plan 1: sort-merge join in the middleware
+//   Plan 2: nested-loop join in the DBMS (the paper pins it with an Oracle
+//           hint; here via the session's forced join method)
+//   Plan 3: sort-merge join in the DBMS
+//
+// Expected shape (paper): the DBMS plans win; the middleware plan stays
+// competitive (TANGO's run-time overhead is insignificant); the optimizer
+// assigns the join to the DBMS.
+
+#include "bench_util.h"
+
+namespace tango {
+namespace bench {
+namespace {
+
+using optimizer::Algorithm;
+using optimizer::PhysPlanPtr;
+
+struct Query4Plans {
+  PhysPlanPtr plan1;      // middleware join
+  PhysPlanPtr plan_dbms;  // DBMS join (method set on the engine session)
+  algebra::OpPtr initial;
+};
+
+Query4Plans BuildPlans(dbms::Engine* db, const std::string& pos_table) {
+  const Schema pos = db->catalog().GetTable(pos_table).ValueOrDie()->schema();
+  const Schema emp = db->catalog().GetTable("EMPLOYEE").ValueOrDie()->schema();
+  auto scan_p = algebra::Scan(pos_table, pos, "P").ValueOrDie();
+  auto scan_e = algebra::Scan("EMPLOYEE", emp, "E").ValueOrDie();
+  // Only the relevant attributes travel (the paper's plans scan "relevant
+  // attributes"): projection below the join.
+  auto proj_p = algebra::Project(scan_p, {{Expr::ColumnRef("POSID"), "POSID"},
+                                          {Expr::ColumnRef("P.EMPID"), "EMPID"}})
+                    .ValueOrDie();
+  auto proj_e =
+      algebra::Project(scan_e, {{Expr::ColumnRef("E.EMPID"), "EID"},
+                                {Expr::ColumnRef("EMPNAME"), "EMPNAME"},
+                                {Expr::ColumnRef("ADDR"), "ADDR"}})
+          .ValueOrDie();
+  auto join = algebra::Join(proj_p, proj_e, {{"EMPID", "EID"}}).ValueOrDie();
+  auto final_proj =
+      algebra::Project(join, {{Expr::ColumnRef("POSID"), "POSID"},
+                              {Expr::ColumnRef("EMPNAME"), "EMPNAME"},
+                              {Expr::ColumnRef("ADDR"), "ADDR"}})
+          .ValueOrDie();
+  auto sorted = algebra::Sort(final_proj, {{"POSID", true}, {"EMPNAME", true}})
+                    .ValueOrDie();
+
+  Query4Plans plans;
+  plans.initial = algebra::TransferM(sorted).ValueOrDie();
+
+  auto scan_p_d = Node(Algorithm::kScanD, scan_p, {});
+  auto scan_e_d = Node(Algorithm::kScanD, scan_e, {});
+  auto proj_p_d = Node(Algorithm::kProjectD, proj_p, {scan_p_d});
+  auto proj_e_d = Node(Algorithm::kProjectD, proj_e, {scan_e_d});
+
+  // Plan 1: transfers of the projected inputs, sorted in the DBMS, merge
+  // join + projection + (order preserved by the join, but the final sort
+  // includes EMPNAME, so sort in the middleware).
+  const std::vector<algebra::SortSpec> key_p = {{"EMPID", true}};
+  const std::vector<algebra::SortSpec> key_e = {{"EID", true}};
+  auto arg_p = Node(Algorithm::kTransferM,
+                    TransferOpOf(algebra::OpKind::kTransferM, proj_p->schema),
+                    {Node(Algorithm::kSortD, SortOpOf(proj_p->schema, key_p),
+                          {proj_p_d})});
+  auto arg_e = Node(Algorithm::kTransferM,
+                    TransferOpOf(algebra::OpKind::kTransferM, proj_e->schema),
+                    {Node(Algorithm::kSortD, SortOpOf(proj_e->schema, key_e),
+                          {proj_e_d})});
+  plans.plan1 = Node(
+      Algorithm::kSortM,
+      SortOpOf(final_proj->schema, {{"POSID", true}, {"EMPNAME", true}}),
+      {Node(Algorithm::kProjectM, final_proj,
+            {Node(Algorithm::kMergeJoinM, join, {arg_p, arg_e})})});
+
+  // Plans 2/3: everything in the DBMS; the join method comes from the
+  // engine session configuration (the Oracle-hint stand-in). The join runs
+  // directly over the base tables so the DBMS can use its index access
+  // paths (nested loop probes IX_EMP_ID); the projection follows.
+  auto join_full =
+      algebra::Join(scan_p, scan_e, {{"P.EMPID", "E.EMPID"}}).ValueOrDie();
+  auto proj_full =
+      algebra::Project(join_full, {{Expr::ColumnRef("POSID"), "POSID"},
+                                   {Expr::ColumnRef("E.EMPNAME"), "EMPNAME"},
+                                   {Expr::ColumnRef("ADDR"), "ADDR"}})
+          .ValueOrDie();
+  plans.plan_dbms = Node(
+      Algorithm::kTransferM,
+      TransferOpOf(algebra::OpKind::kTransferM, proj_full->schema),
+      {Node(Algorithm::kSortD,
+            SortOpOf(proj_full->schema, {{"POSID", true}, {"EMPNAME", true}}),
+            {Node(Algorithm::kProjectD, proj_full,
+                  {Node(Algorithm::kJoinD, join_full, {scan_p_d, scan_e_d})})})});
+  return plans;
+}
+
+int Main() {
+  std::printf("=== Figure 11(b): Query 4 (regular join), 3 plans ===\n");
+  std::printf("running times in seconds; scale=%.2f\n\n", Scale());
+
+  dbms::Engine db;
+  workload::UisOptions opts;
+  opts.employee_rows = Scaled(opts.employee_rows);
+  opts.position_rows = 1;  // base POSITION unused; variants below
+  if (!workload::LoadUis(&db, opts).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+
+  std::printf("%10s %12s %12s %12s   %s\n", "tuples", "plan1 (MW)",
+              "plan2 (NL)", "plan3 (SM)", "optimizer site");
+
+  const size_t paper_sizes[] = {8000, 17000, 27000, 36000, 46000,
+                                55000, 64000, 74000};
+  bool all_agree = true;
+  std::vector<double> mw_t, nl_t, sm_t;
+  std::string site_last;
+  for (size_t raw : paper_sizes) {
+    const size_t n = Scaled(raw);
+    const std::string table = "POS_" + std::to_string(raw);
+    if (!workload::LoadPositionVariant(&db, table, n, workload::UisOptions())
+             .ok()) {
+      std::fprintf(stderr, "variant load failed\n");
+      return 1;
+    }
+    Middleware mw(&db);
+    Query4Plans plans = BuildPlans(&db, table);
+
+    // Close races: best of two runs each, and checksum once.
+    auto r1 = mw.Execute(plans.plan1);
+    db.config().forced_join = dbms::SessionConfig::JoinMethod::kNestedLoop;
+    auto r2 = mw.Execute(plans.plan_dbms);
+    db.config().forced_join = dbms::SessionConfig::JoinMethod::kMerge;
+    auto r3 = mw.Execute(plans.plan_dbms);
+    if (!r1.ok() || !r2.ok() || !r3.ok()) {
+      std::fprintf(stderr, "execution failed: %s %s %s\n",
+                   r1.status().ToString().c_str(),
+                   r2.status().ToString().c_str(),
+                   r3.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t c1 = Checksum(r1.ValueOrDie().rows);
+    all_agree = all_agree && c1 == Checksum(r2.ValueOrDie().rows) &&
+                c1 == Checksum(r3.ValueOrDie().rows);
+    double t1 = r1.ValueOrDie().elapsed_seconds;
+    double t3 = r3.ValueOrDie().elapsed_seconds;
+    db.config().forced_join = dbms::SessionConfig::JoinMethod::kAuto;
+    t1 = std::min(t1, RunBest(&mw, plans.plan1, 1).first);
+    db.config().forced_join = dbms::SessionConfig::JoinMethod::kNestedLoop;
+    const double t2 =
+        std::min(r2.ValueOrDie().elapsed_seconds,
+                 RunBest(&mw, plans.plan_dbms, 1).first);
+    db.config().forced_join = dbms::SessionConfig::JoinMethod::kMerge;
+    t3 = std::min(t3, RunBest(&mw, plans.plan_dbms, 1).first);
+    db.config().forced_join = dbms::SessionConfig::JoinMethod::kAuto;
+    mw_t.push_back(t1);
+    nl_t.push_back(t2);
+    sm_t.push_back(t3);
+
+    // Optimizer choice: join in the DBMS or the middleware? (The paper:
+    // plans 2 and 3 are one plan to the optimizer, which does not model
+    // specific DBMS join algorithms.)
+    std::string site = "ERR";
+    auto prepared = mw.PrepareLogical(plans.initial);
+    if (prepared.ok()) {
+      std::function<bool(const PhysPlanPtr&)> mw_join =
+          [&](const PhysPlanPtr& p) {
+            if (p->algorithm == Algorithm::kMergeJoinM) return true;
+            for (const auto& c : p->children) {
+              if (mw_join(c)) return true;
+            }
+            return false;
+          };
+      site = mw_join(prepared.ValueOrDie().plan) ? "MW" : "DBMS";
+    }
+    site_last = site;
+    std::printf("%10zu %12.3f %12.3f %12.3f   %s\n", n, mw_t.back(),
+                nl_t.back(), sm_t.back(), site.c_str());
+    (void)db.Execute("DROP TABLE " + table);
+  }
+
+  std::printf("\nshape checks (paper: DBMS wins for regular operations; "
+              "TANGO's overhead is insignificant):\n");
+  ShapeChecks checks;
+  checks.Check(all_agree, "all plans produce identical results");
+  checks.Check(std::min(nl_t.front(), sm_t.front()) < mw_t.front(),
+               "a DBMS join is the fastest at the smallest size");
+  // At reduced scales the per-statement round trips dominate the
+  // middleware plan (4 statements vs 1), so the competitiveness bound is
+  // looser there; at the paper's sizes the plans genuinely converge.
+  const double competitive = Scale() >= 0.8 ? 1.6 : 4.0;
+  checks.Check(mw_t.back() < competitive * std::min(nl_t.back(), sm_t.back()),
+               "middleware join competitive at the largest size (got " +
+                   std::to_string(mw_t.back() /
+                                  std::min(nl_t.back(), sm_t.back())) +
+                   "x, bound " + std::to_string(competitive) + "x)");
+  checks.Check(site_last == "DBMS", "optimizer assigns the join to the DBMS");
+  return checks.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tango
+
+int main() { return tango::bench::Main(); }

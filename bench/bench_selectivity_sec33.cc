@@ -1,0 +1,116 @@
+// Reproduces the §3.3 selectivity study: on a relation of 100,000 tuples
+// with 7-day periods uniform over 1995-01-01..2000-01-01, the predicate
+// Overlaps(1997-02-01, 1997-02-08) actually selects ~0.4-0.8% of the
+// tuples. Straightforward independent-conjunct estimation yields 24.7% —
+// "a factor of 40 too high!" — while the semantic StartBefore/EndBefore
+// method lands at ~0.8%. The harness sweeps additional windows and
+// timeslices and reports the error factors of both estimators, with and
+// without histograms.
+
+#include <cmath>
+
+#include "common/date.h"
+#include "bench_util.h"
+#include "sql/parser.h"
+#include "stats/stats.h"
+
+namespace tango {
+namespace bench {
+namespace {
+
+int Main() {
+  std::printf("=== Section 3.3: temporal selectivity estimation ===\n\n");
+
+  dbms::Engine db;
+  const size_t rows = Scaled(100000);
+  if (!workload::LoadUniformR(&db, "R", rows).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  const dbms::Table* table = db.catalog().GetTable("R").ValueOrDie();
+  stats::RelStats with_hist =
+      stats::FromTableStats(table->stats(), table->schema());
+  stats::RelStats no_hist = with_hist;
+  for (auto& c : no_hist.columns) c.histogram = stats::Histogram();
+
+  const Schema schema = table->schema();
+  auto actual_count = [&](const std::string& where) {
+    auto r = db.Execute("SELECT COUNT(*) AS C FROM R WHERE " + where);
+    return static_cast<double>(r.ValueOrDie().rows[0][0].AsInt());
+  };
+
+  struct Probe {
+    const char* label;
+    int64_t a;  // window start (or slice point)
+    int64_t b;  // window end; b == a+1 denotes a timeslice
+  };
+  const Probe probes[] = {
+      {"paper: 1997-02-01..02-08", date::FromYmd(1997, 2, 1),
+       date::FromYmd(1997, 2, 8)},
+      {"1995-06-01..06-15", date::FromYmd(1995, 6, 1),
+       date::FromYmd(1995, 6, 15)},
+      {"1998-01-01..03-01", date::FromYmd(1998, 1, 1),
+       date::FromYmd(1998, 3, 1)},
+      {"1996-01-01..1997-01-01", date::FromYmd(1996, 1, 1),
+       date::FromYmd(1997, 1, 1)},
+      {"timeslice 1997-07-04", date::FromYmd(1997, 7, 4),
+       date::FromYmd(1997, 7, 4) + 1},
+      {"timeslice 1995-01-02", date::FromYmd(1995, 1, 2),
+       date::FromYmd(1995, 1, 2) + 1},
+  };
+
+  std::printf("%-26s %9s %10s %10s %10s %10s\n", "predicate", "actual",
+              "naive", "semantic", "sem+hist", "naive err");
+
+  ShapeChecks checks;
+  double paper_naive_err = 0, paper_sem_err = 0;
+  bool semantic_ok = true;
+  for (const Probe& p : probes) {
+    const std::string where = "T1 < " + std::to_string(p.b) + " AND T2 > " +
+                              std::to_string(p.a);
+    const double actual = actual_count(where);
+    auto pred =
+        sql::Parser::ParseSelect("SELECT ID FROM R WHERE " + where)
+            .ValueOrDie()
+            ->where;
+    const double naive =
+        stats::EstimateSelectivity(pred, schema, no_hist, false) *
+        no_hist.cardinality;
+    const double semantic =
+        stats::EstimateSelectivity(pred, schema, no_hist, true) *
+        no_hist.cardinality;
+    const double sem_hist =
+        stats::EstimateSelectivity(pred, schema, with_hist, true) *
+        with_hist.cardinality;
+    const double naive_err = actual > 0 ? naive / actual : 0;
+    std::printf("%-26s %9.0f %10.0f %10.0f %10.0f %9.1fx\n", p.label, actual,
+                naive, semantic, sem_hist, naive_err);
+    if (p.label[0] == 'p') {
+      paper_naive_err = naive_err;
+      paper_sem_err = actual > 0 ? semantic / actual : 0;
+    }
+    if (actual > 20) {
+      // Semantic estimates within a factor of 2 of the truth.
+      if (semantic < actual / 2 || semantic > actual * 2) semantic_ok = false;
+      if (sem_hist < actual / 2 || sem_hist > actual * 2) semantic_ok = false;
+    }
+  }
+
+  std::printf("\nshape checks (paper: naive is ~40x too high; semantic "
+              "within the actual 0.4%%-0.8%% band):\n");
+  checks.Check(paper_naive_err > 20,
+               "naive estimate >20x too high on the paper's example (got " +
+                   std::to_string(paper_naive_err) + "x)");
+  checks.Check(paper_sem_err > 0.5 && paper_sem_err < 2.5,
+               "semantic estimate within ~2x on the paper's example (got " +
+                   std::to_string(paper_sem_err) + "x)");
+  checks.Check(semantic_ok,
+               "semantic estimates within 2x across the probe sweep");
+  return checks.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tango
+
+int main() { return tango::bench::Main(); }

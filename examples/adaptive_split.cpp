@@ -1,0 +1,83 @@
+// Scenario: the "Adaptable" in the paper's title. TANGO starts with a cost
+// model that wrongly believes the DBMS computes temporal aggregation
+// cheaply, keeps the whole query in the DBMS — and then measures the actual
+// running times, feeds them back into the cost factors, and repartitions
+// the same query into the middleware on subsequent runs.
+//
+// Run:  ./build/examples/adaptive_split
+
+#include <cstdio>
+
+#include "cost/calibrate.h"
+#include "tango/middleware.h"
+#include "workload/uis.h"
+
+namespace {
+
+bool UsesMiddlewareAggregation(const tango::optimizer::PhysPlanPtr& plan) {
+  if (plan->algorithm == tango::optimizer::Algorithm::kTAggrM) return true;
+  for (const auto& c : plan->children) {
+    if (UsesMiddlewareAggregation(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tango;
+
+  dbms::Engine db;
+  workload::UisOptions options;
+  options.position_rows = 20000;
+  options.employee_rows = 1;
+  if (!workload::LoadUis(&db, options).ok()) {
+    std::printf("workload load failed\n");
+    return 1;
+  }
+
+  Middleware::Config config;
+  config.adapt = true;          // the feedback loop
+  config.feedback_alpha = 0.5;  // aggressive smoothing for the demo
+  Middleware middleware(&db, config);
+
+  // Calibrate the simple factors, then plant the wrong belief.
+  cost::Calibrator calibrator(&middleware.connection());
+  if (!calibrator.Calibrate(&middleware.cost_model()).ok()) {
+    std::printf("calibration failed\n");
+    return 1;
+  }
+  middleware.cost_model().factors().taggd1 = 0.0005;
+  middleware.cost_model().factors().taggd2 = 0.0005;
+  std::printf("planted belief: DBMS temporal aggregation is nearly free\n\n");
+
+  const char* query =
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID";
+
+  for (int run = 1; run <= 5; ++run) {
+    auto prepared = middleware.Prepare(query);
+    if (!prepared.ok()) {
+      std::printf("prepare failed: %s\n",
+                  prepared.status().ToString().c_str());
+      return 1;
+    }
+    const bool in_middleware =
+        UsesMiddlewareAggregation(prepared.ValueOrDie().plan);
+    auto result = middleware.Execute(prepared.ValueOrDie().plan);
+    if (!result.ok()) {
+      std::printf("execution failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "run %d: aggregation in the %-10s  %.3fs   (p_taggd1 now %.4f)\n",
+        run, in_middleware ? "MIDDLEWARE" : "DBMS",
+        result.ValueOrDie().elapsed_seconds,
+        middleware.cost_model().factors().taggd1);
+  }
+  std::printf("\nThe measured DBMS fragment times flowed back into the cost "
+              "factors,\nflipping the partitioning decision — no manual "
+              "tuning involved.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef TANGO_COMMON_CURSOR_H_
+#define TANGO_COMMON_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace tango {
+
+/// \brief Pipelined iterator over tuples — the paper's result-set interface
+/// with init() and getNext() (Figure 2).
+///
+/// Both the middleware execution engine (XXL-style algorithms) and the DBMS
+/// physical operators implement this interface; `Init` may do real work
+/// (e.g. TRANSFER^D loads its whole argument into the DBMS during init).
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// Prepares the cursor; called once before the first Next.
+  virtual Status Init() = 0;
+
+  /// Produces the next tuple; returns false when exhausted.
+  virtual Result<bool> Next(Tuple* tuple) = 0;
+
+  /// Output schema; valid after construction.
+  virtual const Schema& schema() const = 0;
+};
+
+using CursorPtr = std::unique_ptr<Cursor>;
+
+/// \brief Cursor over an in-memory vector of tuples.
+class VectorCursor : public Cursor {
+ public:
+  VectorCursor(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  Status Init() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* tuple) override {
+    if (pos_ >= rows_.size()) return false;
+    *tuple = rows_[pos_++];
+    return true;
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Drains a cursor into a vector (calls Init first).
+inline Result<std::vector<Tuple>> MaterializeAll(Cursor* cursor) {
+  TANGO_RETURN_IF_ERROR(cursor->Init());
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, cursor->Next(&t));
+    if (!more) break;
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+}  // namespace tango
+
+#endif  // TANGO_COMMON_CURSOR_H_

@@ -1,0 +1,37 @@
+#ifndef TANGO_COMMON_DATE_H_
+#define TANGO_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tango {
+
+/// \brief Calendar-date <-> day-number conversions.
+///
+/// Time attributes in the paper denote days; relations store them as day
+/// numbers counted from the civil epoch 1970-01-01 (negative before).
+/// The closed-open period convention [T1, T2) is used throughout.
+namespace date {
+
+/// Days from 1970-01-01 to y-m-d (proleptic Gregorian calendar).
+int64_t FromYmd(int year, int month, int day);
+
+/// Inverse of FromYmd.
+void ToYmd(int64_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD" into a day number.
+Result<int64_t> Parse(const std::string& text);
+
+/// Formats a day number as "YYYY-MM-DD".
+std::string Format(int64_t days);
+
+/// Day number of January 1 of the given year (common in the experiments,
+/// e.g. "the time period between January 1, 1983 and January 1, 1984").
+inline int64_t Jan1(int year) { return FromYmd(year, 1, 1); }
+
+}  // namespace date
+}  // namespace tango
+
+#endif  // TANGO_COMMON_DATE_H_

@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace tango {
+
+std::string Rng::Identifier(size_t length) {
+  static const char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[Next() % 26]);
+  }
+  return out;
+}
+
+int64_t Rng::Skewed(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF of a power-law: small indices get most of the mass.
+  const double u = NextDouble();
+  const double x = std::pow(u, 1.0 / (1.0 - theta));
+  auto v = static_cast<int64_t>(x * static_cast<double>(n));
+  if (v >= n) v = n - 1;
+  if (v < 0) v = 0;
+  return v;
+}
+
+}  // namespace tango

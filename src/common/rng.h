@@ -1,0 +1,62 @@
+#ifndef TANGO_COMMON_RNG_H_
+#define TANGO_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tango {
+
+/// \brief Deterministic PRNG (xorshift128+) used by the workload generator
+/// and property tests so every run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed ? seed : 1;
+    s1_ = SplitMix(&s0_);
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random fixed-length uppercase identifier, e.g. for name/address filler.
+  std::string Identifier(size_t length);
+
+  /// Zipf-like skew helper: returns a value in [0, n) where low values are
+  /// more likely; `theta` in (0,1) controls skew strength.
+  int64_t Skewed(int64_t n, double theta);
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  uint64_t s0_, s1_;
+};
+
+}  // namespace tango
+
+#endif  // TANGO_COMMON_RNG_H_

@@ -1,0 +1,76 @@
+#include "common/schema.h"
+
+#include <cctype>
+
+namespace tango {
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& table,
+                               const std::string& name) const {
+  const std::string t = ToUpper(table);
+  const std::string n = ToUpper(name);
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != n) continue;
+    if (!t.empty() && columns_[i].table != t) continue;
+    if (found != columns_.size()) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     (t.empty() ? n : t + "." + n));
+    }
+    found = i;
+  }
+  if (found == columns_.size()) {
+    return Status::NotFound("no such column: " + (t.empty() ? n : t + "." + n));
+  }
+  return found;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& reference) const {
+  const size_t dot = reference.find('.');
+  if (dot == std::string::npos) return IndexOf("", reference);
+  return IndexOf(reference.substr(0, dot), reference.substr(dot + 1));
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  const std::string a = ToUpper(alias);
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.table = a;
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Column& c : right.columns()) out.AddColumn(c);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].QualifiedName();
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].table != other.columns_[i].table ||
+        columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tango

@@ -1,0 +1,112 @@
+#ifndef TANGO_COMMON_SCHEMA_H_
+#define TANGO_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace tango {
+
+/// \brief One attribute of a relation schema.
+///
+/// `table` is the (optional) range-variable qualifier, e.g. in
+/// `SELECT A.PosID FROM TMP A` the column is {table="A", name="POSID"}.
+/// Identifiers are stored upper-cased (SQL identifiers are case-insensitive).
+struct Column {
+  std::string table;  // may be empty
+  std::string name;
+  DataType type = DataType::kInt;
+
+  /// "T.NAME" or just "NAME" when unqualified.
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+};
+
+/// \brief Ordered list of columns describing a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Resolves a possibly-qualified attribute reference to a column index.
+  ///
+  /// An unqualified name matches any column with that name; it is an error
+  /// (kInvalidArgument) if more than one column matches. A qualified name
+  /// "T.A" requires the qualifier to match as well.
+  Result<size_t> IndexOf(const std::string& table,
+                         const std::string& name) const;
+
+  /// Convenience overload accepting "A" or "T.A" in one string.
+  Result<size_t> IndexOf(const std::string& reference) const;
+
+  /// True when the reference resolves to exactly one column.
+  bool Contains(const std::string& reference) const {
+    return IndexOf(reference).ok();
+  }
+
+  /// Re-qualifies every column with the given range-variable alias
+  /// (e.g. the schema of `TMP A` carries qualifier "A").
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Concatenation used by joins and products: left columns then right.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(<qual>:<TYPE>, ...)" rendering used by plan printers and tests.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// One sort criterion: a column index and a direction.
+struct SortKey {
+  size_t column = 0;
+  bool ascending = true;
+
+  bool operator==(const SortKey&) const = default;
+};
+
+/// \brief Comparator over tuples for a list of sort keys; usable with
+/// std::sort and the merge-based operators.
+class TupleComparator {
+ public:
+  explicit TupleComparator(std::vector<SortKey> keys)
+      : keys_(std::move(keys)) {}
+
+  /// Three-way comparison on the sort keys only.
+  int Compare(const Tuple& a, const Tuple& b) const {
+    for (const SortKey& k : keys_) {
+      int c = a[k.column].Compare(b[k.column]);
+      if (c != 0) return k.ascending ? c : -c;
+    }
+    return 0;
+  }
+
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return Compare(a, b) < 0;
+  }
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// Upper-cases an identifier (ASCII), the canonical form used everywhere.
+std::string ToUpper(const std::string& s);
+
+}  // namespace tango
+
+#endif  // TANGO_COMMON_SCHEMA_H_

@@ -1,0 +1,122 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tango {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+namespace {
+// Rank used to order values of different kinds: NULL < numeric < string.
+int KindRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int lr = KindRank(*this);
+  const int rr = KindRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  if (lr == 0) return 0;  // both NULL
+  if (lr == 1) {
+    // Compare in the integer domain when both are ints to avoid precision
+    // loss on large day numbers and identifiers.
+    if (is_int() && other.is_int()) {
+      const int64_t a = AsInt();
+      const int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const int c = AsString().compare(other.AsString());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+    return buf;
+  }
+  return AsString();
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (!is_string()) return ToString();
+  std::string out = "'";
+  for (char c : AsString()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+size_t Value::ByteSize() const {
+  if (is_null()) return 1;
+  if (is_int() || is_double()) return 8;
+  return AsString().size() + 2;  // length-prefixed
+}
+
+size_t Value::Hash() const {
+  // FNV-1a over a kind tag plus the value bytes.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  if (is_null()) {
+    const char tag = 0;
+    mix(&tag, 1);
+  } else if (is_numeric()) {
+    // Hash ints and equal-valued doubles identically by hashing the double
+    // image when the int is exactly representable; identifiers stay exact.
+    const char tag = 1;
+    mix(&tag, 1);
+    if (is_int()) {
+      const int64_t v = AsInt();
+      mix(&v, sizeof(v));
+    } else {
+      const double d = AsDouble();
+      const auto v = static_cast<int64_t>(d);
+      if (static_cast<double>(v) == d) {
+        mix(&v, sizeof(v));
+      } else {
+        mix(&d, sizeof(d));
+      }
+    }
+  } else {
+    const char tag = 2;
+    mix(&tag, 1);
+    mix(AsString().data(), AsString().size());
+  }
+  return static_cast<size_t>(h);
+}
+
+size_t TupleByteSize(const Tuple& tuple) {
+  size_t n = 4;  // per-tuple header (slot bookkeeping)
+  for (const Value& v : tuple) n += v.ByteSize();
+  return n;
+}
+
+}  // namespace tango

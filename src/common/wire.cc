@@ -1,0 +1,99 @@
+#include "common/wire.h"
+
+namespace tango {
+
+namespace {
+enum WireTag : uint8_t { kTagNull = 0, kTagInt = 1, kTagDouble = 2, kTagString = 3 };
+}  // namespace
+
+void WireWriter::PutValue(const Value& v) {
+  if (v.is_null()) {
+    PutU8(kTagNull);
+  } else if (v.is_int()) {
+    PutU8(kTagInt);
+    PutI64(v.AsInt());
+  } else if (v.is_double()) {
+    PutU8(kTagDouble);
+    PutDouble(v.AsDouble());
+  } else {
+    PutU8(kTagString);
+    PutString(v.AsString());
+  }
+}
+
+void WireWriter::PutTuple(const Tuple& t) {
+  PutU32(static_cast<uint32_t>(t.size()));
+  for (const Value& v : t) PutValue(v);
+}
+
+Result<uint8_t> WireReader::GetU8() {
+  TANGO_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> WireReader::GetU32() {
+  TANGO_RETURN_IF_ERROR(Need(4));
+  uint32_t v;
+  std::memcpy(&v, data_ + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+Result<int64_t> WireReader::GetI64() {
+  TANGO_RETURN_IF_ERROR(Need(8));
+  int64_t v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<double> WireReader::GetDouble() {
+  TANGO_RETURN_IF_ERROR(Need(8));
+  double v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> WireReader::GetString() {
+  TANGO_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  TANGO_RETURN_IF_ERROR(Need(n));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<Value> WireReader::GetValue() {
+  TANGO_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt: {
+      TANGO_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value(v);
+    }
+    case kTagDouble: {
+      TANGO_ASSIGN_OR_RETURN(double v, GetDouble());
+      return Value(v);
+    }
+    case kTagString: {
+      TANGO_ASSIGN_OR_RETURN(std::string v, GetString());
+      return Value(std::move(v));
+    }
+    default:
+      return Status::IOError("bad wire value tag");
+  }
+}
+
+Result<Tuple> WireReader::GetTuple() {
+  TANGO_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  Tuple t;
+  t.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TANGO_ASSIGN_OR_RETURN(Value v, GetValue());
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+}  // namespace tango

@@ -1,0 +1,73 @@
+#ifndef TANGO_COMMON_WIRE_H_
+#define TANGO_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace tango {
+
+/// \brief Binary encoder for the simulated client/server wire.
+///
+/// Every tuple crossing the DBMS boundary (TRANSFER^M fetches, TRANSFER^D
+/// bulk loads) is serialized through this codec, so transfer costs really are
+/// proportional to `size(r)` as the paper's cost formulas assume.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+  void PutValue(const Value& v);
+  void PutTuple(const Tuple& t);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Decoder matching WireWriter.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool AtEnd() const { return pos_ >= size_; }
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<Value> GetValue();
+  Result<Tuple> GetTuple();
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > size_) return Status::IOError("wire buffer underrun");
+    return Status::OK();
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tango
+
+#endif  // TANGO_COMMON_WIRE_H_

@@ -1,0 +1,57 @@
+#ifndef TANGO_COST_CALIBRATE_H_
+#define TANGO_COST_CALIBRATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "dbms/connection.h"
+
+namespace tango {
+namespace cost {
+
+/// What calibration measured (for reports and tests).
+struct CalibrationReport {
+  CostFactors before;
+  CostFactors after;
+  double probe_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief The Cost Estimator component (Figure 1): determines the cost
+/// factors by running sample queries, following Du et al.'s calibration
+/// approach (§5.1) — but, as the paper notes, without assuming knowledge of
+/// the specific algorithms the DBMS uses.
+///
+/// Creates temporary probe relations in the DBMS, runs each middleware
+/// algorithm and each "generic" DBMS operation on probes of two sizes, and
+/// fits the per-byte factors (two-point fits where a formula has two terms).
+/// All probe tables are dropped afterwards.
+class Calibrator {
+ public:
+  struct Options {
+    size_t probe_rows = 16384;
+    uint64_t seed = 99;
+  };
+
+  Calibrator(dbms::Connection* conn, Options options)
+      : conn_(conn), options_(options) {}
+  explicit Calibrator(dbms::Connection* conn)
+      : Calibrator(conn, Options()) {}
+
+  /// Runs the probes and updates `model`'s factors in place.
+  Result<CalibrationReport> Calibrate(CostModel* model);
+
+ private:
+  Status SetUpProbes();
+  void TearDownProbes();
+
+  dbms::Connection* conn_;
+  Options options_;
+};
+
+}  // namespace cost
+}  // namespace tango
+
+#endif  // TANGO_COST_CALIBRATE_H_

@@ -1,0 +1,45 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tango {
+namespace cost {
+
+std::string CostFactors::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "p_tm=%.4g p_td=%.4g p_sem=%.4g p_taggm1=%.4g p_taggm2=%.4g "
+                "p_taggd1=%.4g p_taggd2=%.4g p_sortm=%.4g p_sortd=%.4g "
+                "p_mjm=%.4g p_tjm=%.4g p_scand=%.4g p_joind=%.4g p_stmt=%.4g",
+                tm, td, sem, taggm1, taggm2, taggd1, taggd2, sortm, sortd, mjm,
+                tjm, scand, joind, stmt);
+  return buf;
+}
+
+double CostModel::PredicateCoefficient(const ExprPtr& predicate) {
+  if (predicate == nullptr) return 0;
+  double n = 0;
+  if (predicate->kind == Expr::Kind::kBinary) {
+    switch (predicate->binary_op) {
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        return PredicateCoefficient(predicate->children[0]) +
+               PredicateCoefficient(predicate->children[1]);
+      default:
+        return 1;
+    }
+  }
+  for (const ExprPtr& c : predicate->children) n += PredicateCoefficient(c);
+  return n < 1 ? 1 : n;
+}
+
+void CostModel::Feedback(double* factor, double observed_us, double size,
+                         double alpha) {
+  if (size <= 0 || observed_us <= 0) return;
+  const double observed_factor = observed_us / size;
+  *factor = (1 - alpha) * *factor + alpha * observed_factor;
+}
+
+}  // namespace cost
+}  // namespace tango

@@ -1,0 +1,170 @@
+#include "dbms/catalog.h"
+
+#include <algorithm>
+
+namespace tango {
+namespace dbms {
+
+Status Table::Append(const Tuple& tuple) {
+  if (tuple.size() != schema().num_columns()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + name_);
+  }
+  const storage::Rid rid = file_.Append(tuple);
+  for (auto& [col, index] : indexes_) {
+    index->Insert(tuple[col], rid);
+  }
+  return Status::OK();
+}
+
+Status Table::CreateIndex(size_t column) {
+  if (column >= schema().num_columns()) {
+    return Status::InvalidArgument("no such column");
+  }
+  if (indexes_.count(column) != 0) {
+    return Status::AlreadyExists("index exists on " +
+                                 schema().column(column).name);
+  }
+  auto index = std::make_unique<storage::BPlusTree>();
+  auto it = file_.Scan();
+  Tuple t;
+  storage::Rid rid;
+  while (it.Next(&t, &rid)) {
+    index->Insert(t[column], rid);
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+const storage::BPlusTree* Table::GetIndex(size_t column) const {
+  const auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToUpper(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table " + key);
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema));
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  const auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) return Status::NotFound("table " + ToUpper(name));
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) return Status::NotFound("table " + ToUpper(name));
+  return static_cast<const Table*>(it->second.get());
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToUpper(name)) != 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) return Status::NotFound("table " + ToUpper(name));
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::Analyze(const std::string& name, size_t histogram_buckets) {
+  TANGO_ASSIGN_OR_RETURN(Table * table, GetTable(name));
+  const Schema& schema = table->schema();
+  const storage::HeapFile& file = table->file();
+
+  TableStats stats;
+  stats.analyzed = true;
+  stats.cardinality = static_cast<double>(file.num_tuples());
+  stats.blocks = static_cast<double>(file.num_pages());
+  stats.avg_tuple_bytes = file.avg_tuple_bytes();
+  stats.columns.resize(schema.num_columns());
+
+  // One pass collecting per-column values (kept by value; ANALYZE is an
+  // offline operation, and the experiment relations fit comfortably).
+  std::vector<std::vector<Value>> values(schema.num_columns());
+  auto it = file.Scan();
+  Tuple t;
+  while (it.Next(&t)) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (!t[c].is_null()) values[c].push_back(t[c]);
+    }
+  }
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats& cs = stats.columns[c];
+    auto& vals = values[c];
+    if (!vals.empty()) {
+      std::sort(vals.begin(), vals.end());
+      cs.min = vals.front();
+      cs.max = vals.back();
+      double distinct = 1;
+      for (size_t i = 1; i < vals.size(); ++i) {
+        if (vals[i] != vals[i - 1]) distinct += 1;
+      }
+      cs.num_distinct = distinct;
+      if (histogram_buckets > 0 && schema.column(c).type != DataType::kString) {
+        std::vector<double> nums;
+        nums.reserve(vals.size());
+        for (const Value& v : vals) nums.push_back(v.AsDouble());
+        cs.histogram =
+            stats::Histogram::BuildEquiDepth(std::move(nums), histogram_buckets);
+      }
+    }
+    // Index availability and clustering: an index is "clustered" when the
+    // heap order mostly follows the index order (fraction of leaf-adjacent
+    // entries whose rids ascend).
+    const storage::BPlusTree* index = table->GetIndex(c);
+    cs.has_index = index != nullptr;
+    if (index != nullptr && index->size() > 1) {
+      auto leaf_it = index->Begin();
+      Value k;
+      storage::Rid rid;
+      bool first = true;
+      storage::Rid prev{};
+      double ordered = 0, pairs = 0;
+      while (leaf_it.Next(&k, &rid)) {
+        if (!first) {
+          pairs += 1;
+          if (prev.page < rid.page ||
+              (prev.page == rid.page && prev.slot <= rid.slot)) {
+            ordered += 1;
+          }
+        }
+        prev = rid;
+        first = false;
+      }
+      cs.index_clustered = pairs > 0 && ordered / pairs > 0.9;
+    }
+  }
+
+  table->stats() = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::AnalyzeAll(size_t histogram_buckets) {
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    TANGO_RETURN_IF_ERROR(Analyze(name, histogram_buckets));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dbms
+}  // namespace tango

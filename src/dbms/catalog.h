@@ -1,0 +1,99 @@
+#ifndef TANGO_DBMS_CATALOG_H_
+#define TANGO_DBMS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "stats/histogram.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+
+namespace tango {
+namespace dbms {
+
+/// Per-attribute statistics maintained by ANALYZE — exactly the standard
+/// statistics the paper assumes are available from any DBMS (§3):
+/// minimum/maximum values, number of distinct values, histograms, and index
+/// availability/clustering.
+struct ColumnStats {
+  Value min;
+  Value max;
+  double num_distinct = 0;
+  stats::Histogram histogram;   // empty for non-numeric columns
+  bool has_index = false;
+  bool index_clustered = false;
+};
+
+/// Per-relation statistics: block counts, numbers of tuples, and average
+/// tuple sizes (§3).
+struct TableStats {
+  bool analyzed = false;
+  double cardinality = 0;
+  double blocks = 0;
+  double avg_tuple_bytes = 0;
+  std::vector<ColumnStats> columns;  // parallel to the schema
+};
+
+/// \brief A stored table: heap file, secondary indexes, statistics.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), file_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return file_.schema(); }
+  storage::HeapFile& file() { return file_; }
+  const storage::HeapFile& file() const { return file_; }
+
+  /// Appends a tuple, maintaining all indexes.
+  Status Append(const Tuple& tuple);
+
+  /// Builds a B+-tree index on the given column (by index).
+  Status CreateIndex(size_t column);
+  const storage::BPlusTree* GetIndex(size_t column) const;
+  bool HasIndex(size_t column) const { return GetIndex(column) != nullptr; }
+
+  TableStats& stats() { return stats_; }
+  const TableStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  storage::HeapFile file_;
+  std::map<size_t, std::unique_ptr<storage::BPlusTree>> indexes_;
+  TableStats stats_;
+};
+
+/// \brief The DBMS system catalog: tables by (upper-cased) name.
+class Catalog {
+ public:
+  /// Creates an empty table; fails if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  /// Recomputes TableStats (and ColumnStats incl. histograms) for one table.
+  /// `histogram_buckets` = 0 disables histogram construction, modeling the
+  /// paper's "optimizer without histograms" configuration.
+  Status Analyze(const std::string& name, size_t histogram_buckets = 32);
+
+  /// Analyze every table.
+  Status AnalyzeAll(size_t histogram_buckets = 32);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace dbms
+}  // namespace tango
+
+#endif  // TANGO_DBMS_CATALOG_H_

@@ -1,0 +1,115 @@
+#include "dbms/engine.h"
+
+#include "sql/parser.h"
+
+namespace tango {
+namespace dbms {
+
+Result<QueryResult> Engine::Execute(const std::string& sql) {
+  ++statements_;
+  TANGO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parser::Parse(sql));
+
+  if (stmt.select != nullptr) {
+    Planner planner(&catalog_, &config_);
+    TANGO_ASSIGN_OR_RETURN(CursorPtr cursor, planner.PlanSelect(*stmt.select));
+    QueryResult result;
+    result.schema = cursor->schema();
+    TANGO_ASSIGN_OR_RETURN(result.rows, MaterializeAll(cursor.get()));
+    return result;
+  }
+
+  if (stmt.create_table != nullptr) {
+    const auto& ct = *stmt.create_table;
+    if (ct.as_select != nullptr) {
+      Planner planner(&catalog_, &config_);
+      TANGO_ASSIGN_OR_RETURN(CursorPtr cursor, planner.PlanSelect(*ct.as_select));
+      // Strip qualifiers: the new table's columns are its own.
+      Schema schema;
+      for (const Column& c : cursor->schema().columns()) {
+        schema.AddColumn({"", c.name, c.type});
+      }
+      TANGO_ASSIGN_OR_RETURN(Table * table,
+                             catalog_.CreateTable(ct.name, schema));
+      TANGO_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                             MaterializeAll(cursor.get()));
+      for (const Tuple& t : rows) TANGO_RETURN_IF_ERROR(table->Append(t));
+      return QueryResult{};
+    }
+    Schema schema;
+    for (const Column& c : ct.columns) {
+      schema.AddColumn({"", ToUpper(c.name), c.type});
+    }
+    TANGO_RETURN_IF_ERROR(catalog_.CreateTable(ct.name, schema).status());
+    return QueryResult{};
+  }
+
+  if (stmt.insert != nullptr) {
+    TANGO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.insert->table));
+    for (const auto& row_exprs : stmt.insert->rows) {
+      if (row_exprs.size() != table->schema().num_columns()) {
+        return Status::InvalidArgument("INSERT arity mismatch");
+      }
+      Tuple row;
+      row.reserve(row_exprs.size());
+      for (const ExprPtr& e : row_exprs) {
+        // VALUES expressions are constant (no column references).
+        std::vector<std::string> cols;
+        CollectColumns(e, &cols);
+        if (!cols.empty()) {
+          return Status::InvalidArgument("non-constant INSERT value");
+        }
+        row.push_back(Eval(*e, {}));
+      }
+      TANGO_RETURN_IF_ERROR(table->Append(row));
+    }
+    return QueryResult{};
+  }
+
+  if (stmt.drop_table != nullptr) {
+    TANGO_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table));
+    return QueryResult{};
+  }
+
+  if (stmt.analyze != nullptr) {
+    if (stmt.analyze->table.empty()) {
+      TANGO_RETURN_IF_ERROR(catalog_.AnalyzeAll(analyze_histogram_buckets));
+    } else {
+      TANGO_RETURN_IF_ERROR(
+          catalog_.Analyze(stmt.analyze->table, analyze_histogram_buckets));
+    }
+    return QueryResult{};
+  }
+
+  if (stmt.create_index != nullptr) {
+    TANGO_ASSIGN_OR_RETURN(Table * table,
+                           catalog_.GetTable(stmt.create_index->table));
+    TANGO_ASSIGN_OR_RETURN(size_t col,
+                           table->schema().IndexOf(stmt.create_index->column));
+    TANGO_RETURN_IF_ERROR(table->CreateIndex(col));
+    return QueryResult{};
+  }
+
+  return Status::Internal("unhandled statement");
+}
+
+Result<CursorPtr> Engine::OpenQuery(const std::string& sql) {
+  ++statements_;
+  TANGO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parser::Parse(sql));
+  if (stmt.select == nullptr) {
+    return Status::InvalidArgument("OpenQuery requires a SELECT");
+  }
+  Planner planner(&catalog_, &config_);
+  return planner.PlanSelect(*stmt.select);
+}
+
+Status Engine::BulkLoad(const std::string& table_name,
+                        const std::vector<Tuple>& rows) {
+  TANGO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  for (const Tuple& t : rows) {
+    TANGO_RETURN_IF_ERROR(table->Append(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace dbms
+}  // namespace tango

@@ -1,0 +1,62 @@
+#ifndef TANGO_DBMS_ENGINE_H_
+#define TANGO_DBMS_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cursor.h"
+#include "dbms/catalog.h"
+#include "dbms/planner.h"
+
+namespace tango {
+namespace dbms {
+
+/// Materialized result of a statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> rows;
+};
+
+/// \brief The conventional DBMS the middleware sits on top of.
+///
+/// Accepts SQL text (the only interface the middleware may use, mirroring
+/// JDBC), plans and executes it against its own catalog and storage. The
+/// middleware never sees inside: it talks to this engine exclusively through
+/// `Connection` (see connection.h).
+class Engine {
+ public:
+  Engine() = default;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  SessionConfig& config() { return config_; }
+
+  /// Histogram buckets used by ANALYZE (0 disables histograms, the paper's
+  /// "optimizer without histograms" configuration).
+  size_t analyze_histogram_buckets = 32;
+
+  /// Parses and executes one statement; SELECTs return rows, DDL/DML return
+  /// an empty result.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Plans a SELECT into a server-side cursor without materializing it.
+  Result<CursorPtr> OpenQuery(const std::string& sql);
+
+  /// Direct-path load (the SQL*Loader stand-in): appends rows to a table
+  /// without going through INSERT parsing. Used by Connection::BulkLoad.
+  Status BulkLoad(const std::string& table, const std::vector<Tuple>& rows);
+
+  /// Number of statements executed so far (observability for tests).
+  uint64_t statements_executed() const { return statements_; }
+
+ private:
+  Catalog catalog_;
+  SessionConfig config_;
+  uint64_t statements_ = 0;
+};
+
+}  // namespace dbms
+}  // namespace tango
+
+#endif  // TANGO_DBMS_ENGINE_H_

@@ -1,0 +1,622 @@
+#include "dbms/exec_ops.h"
+
+#include <algorithm>
+
+namespace tango {
+namespace dbms {
+
+// ---------------------------------------------------------------- TableScan
+
+TableScanOp::TableScanOp(const Table* table, const std::string& alias)
+    : table_(table),
+      schema_(alias.empty() ? table->schema()
+                            : table->schema().WithQualifier(alias)) {}
+
+Status TableScanOp::Init() {
+  it_.emplace(table_->file().Scan());
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(Tuple* tuple) {
+  return it_->Next(tuple);
+}
+
+// ---------------------------------------------------------------- IndexScan
+
+IndexScanOp::IndexScanOp(const Table* table, size_t column,
+                         const std::string& alias, std::optional<Value> lo,
+                         bool lo_inclusive, std::optional<Value> hi,
+                         bool hi_inclusive)
+    : table_(table),
+      column_(column),
+      schema_(alias.empty() ? table->schema()
+                            : table->schema().WithQualifier(alias)),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)),
+      lo_inclusive_(lo_inclusive),
+      hi_inclusive_(hi_inclusive) {}
+
+Status IndexScanOp::Init() {
+  const storage::BPlusTree* index = table_->GetIndex(column_);
+  if (index == nullptr) return Status::Internal("index scan without index");
+  if (lo_.has_value()) {
+    it_ = lo_inclusive_ ? index->SeekGE(*lo_) : index->SeekGT(*lo_);
+  } else {
+    it_ = index->Begin();
+  }
+  return Status::OK();
+}
+
+Result<bool> IndexScanOp::Next(Tuple* tuple) {
+  Value key;
+  storage::Rid rid;
+  if (!it_->Next(&key, &rid)) return false;
+  if (hi_.has_value()) {
+    const int c = key.Compare(*hi_);
+    if (c > 0 || (c == 0 && !hi_inclusive_)) return false;
+  }
+  TANGO_ASSIGN_OR_RETURN(*tuple, table_->file().Get(rid));
+  return true;
+}
+
+// ------------------------------------------------------------------- Filter
+
+Result<bool> FilterOp::Next(Tuple* tuple) {
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(tuple));
+    if (!more) return false;
+    if (EvalPredicate(*predicate_, *tuple)) return true;
+  }
+}
+
+// ------------------------------------------------------------------ Project
+
+Result<bool> ProjectOp::Next(Tuple* tuple) {
+  Tuple in;
+  TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  tuple->clear();
+  tuple->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) tuple->push_back(Eval(*e, in));
+  return true;
+}
+
+// --------------------------------------------------------------------- Sort
+
+Status SortOp::Init() {
+  TANGO_RETURN_IF_ERROR(child_->Init());
+  rows_.clear();
+  pos_ = 0;
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    if (!more) break;
+    rows_.push_back(std::move(t));
+  }
+  TupleComparator cmp(keys_);
+  std::stable_sort(rows_.begin(), rows_.end(), cmp);
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Tuple* tuple) {
+  if (pos_ >= rows_.size()) return false;
+  *tuple = rows_[pos_++];
+  return true;
+}
+
+// -------------------------------------------------------------------- Dedup
+
+Result<bool> DedupOp::Next(Tuple* tuple) {
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    if (!more) return false;
+    bool same = have_prev_ && t.size() == prev_.size();
+    if (same) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].Compare(prev_[i]) != 0 || t[i].is_null() != prev_[i].is_null()) {
+          same = false;
+          break;
+        }
+      }
+    }
+    prev_ = t;
+    have_prev_ = true;
+    if (!same) {
+      *tuple = std::move(t);
+      return true;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- UnionAll
+
+Status UnionAllOp::Init() {
+  current_ = 0;
+  for (auto& c : children_) TANGO_RETURN_IF_ERROR(c->Init());
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(Tuple* tuple) {
+  while (current_ < children_.size()) {
+    TANGO_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(tuple));
+    if (more) return true;
+    ++current_;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- SortMergeJoin
+
+SortMergeJoinOp::SortMergeJoinOp(CursorPtr left, CursorPtr right,
+                                 std::vector<size_t> left_keys,
+                                 std::vector<size_t> right_keys,
+                                 ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+int SortMergeJoinOp::CompareKeys(const Tuple& l, const Tuple& r) const {
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    const Value& a = l[left_keys_[i]];
+    const Value& b = r[right_keys_[i]];
+    // NULL keys never match; order them first consistently.
+    const int c = a.Compare(b);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Status SortMergeJoinOp::Init() {
+  TANGO_RETURN_IF_ERROR(left_->Init());
+  TANGO_RETURN_IF_ERROR(right_->Init());
+  left_valid_ = false;
+  right_pending_valid_ = false;
+  right_exhausted_ = false;
+  right_group_.clear();
+  group_pos_ = 0;
+  group_matches_left_ = false;
+  TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+  TANGO_ASSIGN_OR_RETURN(right_pending_valid_, right_->Next(&right_pending_));
+  right_exhausted_ = !right_pending_valid_;
+  return Status::OK();
+}
+
+// Loads into right_group_ the next run of right tuples with equal keys,
+// starting from right_pending_.
+Result<bool> SortMergeJoinOp::FillRightGroup() {
+  right_group_.clear();
+  if (!right_pending_valid_) return false;
+  right_group_.push_back(right_pending_);
+  while (true) {
+    Tuple t;
+    TANGO_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+    if (!more) {
+      right_pending_valid_ = false;
+      right_exhausted_ = true;
+      break;
+    }
+    // Same key as the group head?
+    bool same = true;
+    for (size_t i = 0; i < right_keys_.size(); ++i) {
+      if (t[right_keys_[i]].Compare(right_group_.front()[right_keys_[i]]) != 0) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      right_group_.push_back(std::move(t));
+    } else {
+      right_pending_ = std::move(t);
+      right_pending_valid_ = true;
+      break;
+    }
+  }
+  return true;
+}
+
+Result<bool> SortMergeJoinOp::Next(Tuple* tuple) {
+  while (true) {
+    // Emit pending (left row x right group) pairs.
+    if (group_matches_left_ && group_pos_ < right_group_.size()) {
+      const Tuple& r = right_group_[group_pos_++];
+      Tuple joined = left_row_;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (residual_ == nullptr || EvalPredicate(*residual_, joined)) {
+        *tuple = std::move(joined);
+        return true;
+      }
+      continue;
+    }
+    if (group_matches_left_) {
+      // Exhausted the group for this left row; advance left and retry the
+      // same group (next left row may share the key).
+      TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+      group_pos_ = 0;
+      if (!left_valid_) return false;
+      if (!right_group_.empty() &&
+          CompareKeys(left_row_, right_group_.front()) == 0) {
+        continue;  // same key: replay group
+      }
+      group_matches_left_ = false;
+      // fall through to group advancement
+    }
+    if (!left_valid_) return false;
+    // Advance the right group until it is >= the left key.
+    while (true) {
+      if (right_group_.empty() ||
+          CompareKeys(left_row_, right_group_.front()) > 0) {
+        TANGO_ASSIGN_OR_RETURN(bool filled, FillRightGroup());
+        if (!filled) {
+          if (right_group_.empty()) return false;  // right fully exhausted
+        }
+        if (right_group_.empty()) return false;
+        continue;
+      }
+      break;
+    }
+    const int c = CompareKeys(left_row_, right_group_.front());
+    if (c < 0) {
+      TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+      if (!left_valid_) return false;
+      continue;
+    }
+    if (c == 0) {
+      // NULL join keys never match.
+      bool has_null = false;
+      for (size_t k : left_keys_) {
+        if (left_row_[k].is_null()) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) {
+        TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+        if (!left_valid_) return false;
+        continue;
+      }
+      group_matches_left_ = true;
+      group_pos_ = 0;
+      continue;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- HashJoin
+
+HashJoinOp::HashJoinOp(CursorPtr left, CursorPtr right,
+                       std::vector<size_t> left_keys,
+                       std::vector<size_t> right_keys, ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status HashJoinOp::Init() {
+  TANGO_RETURN_IF_ERROR(left_->Init());
+  TANGO_RETURN_IF_ERROR(right_->Init());
+  hash_table_.clear();
+  probe_valid_ = false;
+  match_bucket_ = nullptr;
+  match_pos_ = 0;
+  // Build on the left input.
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+    if (!more) break;
+    std::vector<Value> key;
+    key.reserve(left_keys_.size());
+    bool has_null = false;
+    for (size_t k : left_keys_) {
+      if (t[k].is_null()) has_null = true;
+      key.push_back(t[k]);
+    }
+    if (has_null) continue;  // NULL keys never join
+    hash_table_[std::move(key)].push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Tuple* tuple) {
+  while (true) {
+    if (match_bucket_ != nullptr && match_pos_ < match_bucket_->size()) {
+      Tuple joined = (*match_bucket_)[match_pos_++];
+      joined.insert(joined.end(), probe_row_.begin(), probe_row_.end());
+      if (residual_ == nullptr || EvalPredicate(*residual_, joined)) {
+        *tuple = std::move(joined);
+        return true;
+      }
+      continue;
+    }
+    TANGO_ASSIGN_OR_RETURN(probe_valid_, right_->Next(&probe_row_));
+    if (!probe_valid_) return false;
+    std::vector<Value> key;
+    key.reserve(right_keys_.size());
+    bool has_null = false;
+    for (size_t k : right_keys_) {
+      if (probe_row_[k].is_null()) has_null = true;
+      key.push_back(probe_row_[k]);
+    }
+    match_bucket_ = nullptr;
+    match_pos_ = 0;
+    if (has_null) continue;
+    const auto it = hash_table_.find(key);
+    if (it != hash_table_.end()) match_bucket_ = &it->second;
+  }
+}
+
+// ----------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinOp::NestedLoopJoinOp(CursorPtr left, CursorPtr right,
+                                   ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status NestedLoopJoinOp::Init() {
+  TANGO_RETURN_IF_ERROR(left_->Init());
+  TANGO_RETURN_IF_ERROR(right_->Init());
+  inner_.clear();
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+    if (!more) break;
+    inner_.push_back(std::move(t));
+  }
+  outer_valid_ = false;
+  inner_pos_ = 0;
+  TANGO_ASSIGN_OR_RETURN(outer_valid_, left_->Next(&outer_row_));
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Tuple* tuple) {
+  while (outer_valid_) {
+    while (inner_pos_ < inner_.size()) {
+      Tuple joined = outer_row_;
+      const Tuple& r = inner_[inner_pos_++];
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (predicate_ == nullptr || EvalPredicate(*predicate_, joined)) {
+        *tuple = std::move(joined);
+        return true;
+      }
+    }
+    inner_pos_ = 0;
+    TANGO_ASSIGN_OR_RETURN(outer_valid_, left_->Next(&outer_row_));
+  }
+  return false;
+}
+
+// ------------------------------------------------------ IndexNestedLoopJoin
+
+IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(CursorPtr outer,
+                                             const Table* inner,
+                                             const std::string& inner_alias,
+                                             size_t outer_key,
+                                             size_t inner_column,
+                                             ExprPtr residual)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      outer_key_(outer_key),
+      inner_column_(inner_column),
+      residual_(std::move(residual)),
+      schema_(Schema::Concat(
+          outer_->schema(), inner_alias.empty()
+                                ? inner->schema()
+                                : inner->schema().WithQualifier(inner_alias))) {}
+
+Status IndexNestedLoopJoinOp::Init() {
+  if (inner_->GetIndex(inner_column_) == nullptr) {
+    return Status::Internal("index nested-loop join without index");
+  }
+  TANGO_RETURN_IF_ERROR(outer_->Init());
+  outer_valid_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexNestedLoopJoinOp::Next(Tuple* tuple) {
+  while (true) {
+    if (match_pos_ < matches_.size()) {
+      TANGO_ASSIGN_OR_RETURN(Tuple inner_row,
+                             inner_->file().Get(matches_[match_pos_++]));
+      Tuple joined = outer_row_;
+      joined.insert(joined.end(), inner_row.begin(), inner_row.end());
+      if (residual_ == nullptr || EvalPredicate(*residual_, joined)) {
+        *tuple = std::move(joined);
+        return true;
+      }
+      continue;
+    }
+    TANGO_ASSIGN_OR_RETURN(outer_valid_, outer_->Next(&outer_row_));
+    if (!outer_valid_) return false;
+    matches_.clear();
+    match_pos_ = 0;
+    const Value& key = outer_row_[outer_key_];
+    if (key.is_null()) continue;
+    matches_ = inner_->GetIndex(inner_column_)->Lookup(key);
+  }
+}
+
+// ----------------------------------------------------------------- GroupAgg
+
+GroupAggOp::GroupAggOp(CursorPtr child, std::vector<size_t> group_cols,
+                       std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)) {
+  // Output schema: group columns (with their child names/types), then one
+  // column per aggregate.
+  for (size_t c : group_cols_) schema_.AddColumn(child_->schema().column(c));
+  for (const AggSpec& a : aggs_) {
+    Column col;
+    col.name = ToUpper(a.name);
+    if (a.func == AggFunc::kCount) {
+      col.type = DataType::kInt;
+    } else if (a.func == AggFunc::kAvg) {
+      col.type = DataType::kDouble;
+    } else if (a.arg != nullptr) {
+      auto t = InferType(a.arg, child_->schema());
+      col.type = t.ok() ? t.ValueOrDie() : DataType::kDouble;
+    } else {
+      col.type = DataType::kDouble;
+    }
+    schema_.AddColumn(col);
+  }
+}
+
+Status GroupAggOp::Init() {
+  TANGO_RETURN_IF_ERROR(child_->Init());
+  group_open_ = false;
+  pending_valid_ = false;
+  input_done_ = false;
+  emitted_global_ = false;
+  states_.assign(aggs_.size(), AggState{});
+  return Status::OK();
+}
+
+void GroupAggOp::Accumulate(const Tuple& row) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& st = states_[i];
+    const AggSpec& a = aggs_[i];
+    Value v;
+    if (a.arg != nullptr) {
+      v = Eval(*a.arg, row);
+      if (v.is_null()) continue;  // SQL aggregates skip NULLs
+    }
+    st.any = true;
+    st.count += 1;
+    if (a.arg != nullptr && v.is_numeric()) {
+      st.sum += v.AsDouble();
+      if (!v.is_int()) st.sum_is_int = false;
+      if (st.count == 1 || v < st.min) st.min = v;
+      if (st.count == 1 || v > st.max) st.max = v;
+    } else if (a.arg != nullptr) {
+      if (st.count == 1 || v < st.min) st.min = v;
+      if (st.count == 1 || v > st.max) st.max = v;
+    }
+  }
+}
+
+Tuple GroupAggOp::EmitGroup() {
+  Tuple out;
+  out.reserve(group_cols_.size() + aggs_.size());
+  for (size_t c : group_cols_) out.push_back(group_key_row_[c]);
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggState& st = states_[i];
+    switch (aggs_[i].func) {
+      case AggFunc::kCount:
+        out.push_back(Value(st.count));
+        break;
+      case AggFunc::kSum:
+        if (!st.any) {
+          out.push_back(Value::Null());
+        } else if (st.sum_is_int) {
+          out.push_back(Value(static_cast<int64_t>(st.sum)));
+        } else {
+          out.push_back(Value(st.sum));
+        }
+        break;
+      case AggFunc::kAvg:
+        out.push_back(st.any ? Value(st.sum / static_cast<double>(st.count))
+                             : Value::Null());
+        break;
+      case AggFunc::kMin:
+        out.push_back(st.any ? st.min : Value::Null());
+        break;
+      case AggFunc::kMax:
+        out.push_back(st.any ? st.max : Value::Null());
+        break;
+    }
+  }
+  states_.assign(aggs_.size(), AggState{});
+  return out;
+}
+
+Result<bool> GroupAggOp::Next(Tuple* tuple) {
+  if (input_done_) {
+    // Global aggregation over an empty input still yields one row.
+    if (group_cols_.empty() && !emitted_global_ && !group_open_) {
+      emitted_global_ = true;
+      group_key_row_.clear();
+      *tuple = EmitGroup();
+      return true;
+    }
+    if (group_open_) {
+      group_open_ = false;
+      *tuple = EmitGroup();
+      emitted_global_ = true;
+      return true;
+    }
+    return false;
+  }
+  while (true) {
+    Tuple row;
+    bool more;
+    if (pending_valid_) {
+      row = std::move(pending_);
+      pending_valid_ = false;
+      more = true;
+    } else {
+      TANGO_ASSIGN_OR_RETURN(more, child_->Next(&row));
+    }
+    if (!more) {
+      input_done_ = true;
+      if (group_open_) {
+        group_open_ = false;
+        emitted_global_ = true;
+        *tuple = EmitGroup();
+        return true;
+      }
+      if (group_cols_.empty() && !emitted_global_) {
+        emitted_global_ = true;
+        group_key_row_.clear();
+        *tuple = EmitGroup();
+        return true;
+      }
+      return false;
+    }
+    if (!group_open_) {
+      group_open_ = true;
+      group_key_row_ = row;
+      Accumulate(row);
+      continue;
+    }
+    // Same group?
+    bool same = true;
+    for (size_t c : group_cols_) {
+      if (row[c].Compare(group_key_row_[c]) != 0) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      Accumulate(row);
+      continue;
+    }
+    // New group: emit the finished one, stash the row.
+    pending_ = std::move(row);
+    pending_valid_ = true;
+    Tuple out = EmitGroup();
+    group_key_row_.clear();
+    group_open_ = false;
+    *tuple = std::move(out);
+    // Open the new group on the next call.
+    if (pending_valid_) {
+      group_open_ = true;
+      group_key_row_ = pending_;
+      Accumulate(pending_);
+      pending_valid_ = false;
+    }
+    return true;
+  }
+}
+
+}  // namespace dbms
+}  // namespace tango

@@ -1,0 +1,74 @@
+#ifndef TANGO_DBMS_PLANNER_H_
+#define TANGO_DBMS_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cursor.h"
+#include "dbms/catalog.h"
+#include "dbms/exec_ops.h"
+#include "sql/ast.h"
+
+namespace tango {
+namespace dbms {
+
+/// Session-level execution settings. `forced_join` stands in for the Oracle
+/// optimizer hints the paper uses in Query 4 to pin the DBMS join method.
+struct SessionConfig {
+  enum class JoinMethod { kAuto, kNestedLoop, kMerge, kHash };
+  JoinMethod forced_join = JoinMethod::kAuto;
+
+  /// Selectivity threshold below which an available index is preferred over
+  /// a full scan.
+  double index_scan_threshold = 0.25;
+};
+
+/// \brief Rudimentary cost-based planner for the mini-DBMS.
+///
+/// The middleware deliberately treats this engine as a black box (the paper:
+/// "the middleware does not know which join algorithm the DBMS will use");
+/// this planner is that hidden machinery: selection pushdown, index
+/// selection by estimated selectivity, left-deep join trees with hash /
+/// sort-merge / index-nested-loop joins, sort-based grouping and duplicate
+/// elimination.
+class Planner {
+ public:
+  Planner(Catalog* catalog, const SessionConfig* config)
+      : catalog_(catalog), config_(config) {}
+
+  /// Plans a (possibly UNION-chained) SELECT into an executable cursor.
+  Result<CursorPtr> PlanSelect(const sql::SelectStmt& stmt);
+
+ private:
+  // One FROM entry with its pushed-down single-relation conjuncts.
+  struct PlannedRef {
+    CursorPtr cursor;
+    std::string qualifier;
+  };
+
+  Result<CursorPtr> PlanArm(const sql::SelectStmt& stmt);
+  Result<CursorPtr> PlanTableRef(const sql::TableRef& ref,
+                                 std::vector<ExprPtr> pushed);
+  Result<CursorPtr> PlanBaseTable(const Table* table, const std::string& alias,
+                                  std::vector<ExprPtr> pushed);
+  Result<CursorPtr> PlanJoins(const sql::SelectStmt& stmt,
+                              std::vector<ExprPtr>* residuals);
+  Result<CursorPtr> PlanAggregation(const sql::SelectStmt& stmt,
+                                    CursorPtr input,
+                                    std::vector<ExprPtr>* select_exprs,
+                                    Schema* out_schema);
+  Result<CursorPtr> ApplyOrderBy(const sql::SelectStmt& stmt, CursorPtr input);
+
+  /// Estimated fraction of `table` rows satisfying `col op literal`.
+  double EstimateColumnSelectivity(const Table* table, size_t column,
+                                   BinaryOp op, const Value& literal) const;
+
+  Catalog* catalog_;
+  const SessionConfig* config_;
+};
+
+}  // namespace dbms
+}  // namespace tango
+
+#endif  // TANGO_DBMS_PLANNER_H_

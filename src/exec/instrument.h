@@ -1,0 +1,85 @@
+#ifndef TANGO_EXEC_INSTRUMENT_H_
+#define TANGO_EXEC_INSTRUMENT_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cursor.h"
+
+namespace tango {
+namespace exec {
+
+/// Inclusive wall-clock timing of one algorithm in an executed plan; the
+/// execution engine subtracts child times to obtain self times, which feed
+/// the cost model's adaptation loop (the paper's "performance feedback").
+struct AlgorithmTiming {
+  std::string label;
+  double inclusive_seconds = 0;
+  uint64_t rows = 0;
+  std::vector<size_t> child_ids;  // ids of wrapped children
+};
+
+/// Sink shared by all instrumented cursors of one plan execution.
+using TimingSink = std::vector<AlgorithmTiming>;
+
+/// \brief Decorator measuring the wall time spent inside a cursor (Init and
+/// all Next calls) and the rows produced.
+class InstrumentedCursor : public Cursor {
+ public:
+  /// Registers a slot in `sink` and remembers its id.
+  InstrumentedCursor(CursorPtr inner, std::string label, TimingSink* sink,
+                     std::vector<size_t> child_ids)
+      : inner_(std::move(inner)), sink_(sink) {
+    AlgorithmTiming t;
+    t.label = std::move(label);
+    t.child_ids = std::move(child_ids);
+    id_ = sink_->size();
+    sink_->push_back(std::move(t));
+  }
+
+  size_t id() const { return id_; }
+
+  Status Init() override {
+    const auto start = Clock::now();
+    Status s = inner_->Init();
+    Record(start);
+    return s;
+  }
+
+  Result<bool> Next(Tuple* tuple) override {
+    const auto start = Clock::now();
+    Result<bool> r = inner_->Next(tuple);
+    Record(start);
+    if (r.ok() && r.ValueOrDie()) (*sink_)[id_].rows += 1;
+    return r;
+  }
+
+  const Schema& schema() const override { return inner_->schema(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void Record(Clock::time_point start) {
+    const auto elapsed = Clock::now() - start;
+    (*sink_)[id_].inclusive_seconds +=
+        std::chrono::duration<double>(elapsed).count();
+  }
+
+  CursorPtr inner_;
+  TimingSink* sink_;
+  size_t id_;
+};
+
+/// Self time of algorithm `id` (inclusive minus children's inclusive).
+inline double SelfSeconds(const TimingSink& sink, size_t id) {
+  double t = sink[id].inclusive_seconds;
+  for (size_t c : sink[id].child_ids) t -= sink[c].inclusive_seconds;
+  return t < 0 ? 0 : t;
+}
+
+}  // namespace exec
+}  // namespace tango
+
+#endif  // TANGO_EXEC_INSTRUMENT_H_

@@ -1,0 +1,79 @@
+#ifndef TANGO_EXEC_JOIN_H_
+#define TANGO_EXEC_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/cursor.h"
+#include "expr/expr.h"
+
+namespace tango {
+namespace exec {
+
+/// \brief MERGEJOIN^M: middleware sort-merge equijoin.
+///
+/// Inputs must arrive sorted on their key columns; duplicate key groups are
+/// buffered on the right side and replayed. Output: left columns then right.
+/// Output order: the left keys (the algorithm is order preserving on them).
+class MergeJoinCursor : public Cursor {
+ public:
+  MergeJoinCursor(CursorPtr left, CursorPtr right, std::vector<size_t> left_keys,
+                  std::vector<size_t> right_keys);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* tuple) override;
+  const Schema& schema() const override { return schema_; }
+
+ protected:
+  /// Hook for subclasses (the temporal join): accepts/reworks a candidate
+  /// pair. Returns true and fills `out` when the pair joins.
+  virtual bool EmitPair(const Tuple& left, const Tuple& right, Tuple* out);
+
+ private:
+  int CompareKeys(const Tuple& l, const Tuple& r) const;
+  Result<bool> FillRightGroup();
+
+  CursorPtr left_, right_;
+  std::vector<size_t> left_keys_, right_keys_;
+  Schema schema_;
+
+  Tuple left_row_;
+  bool left_valid_ = false;
+  Tuple right_pending_;
+  bool right_pending_valid_ = false;
+  std::vector<Tuple> right_group_;
+  size_t group_pos_ = 0;
+  bool group_matches_left_ = false;
+};
+
+/// \brief TJOIN^M: middleware temporal join (sort-merge).
+///
+/// Equijoin with the additional requirement that the two periods overlap;
+/// the output carries the intersection GREATEST(T1), LEAST(T2). Output
+/// schema follows the algebra: left columns without its period, right
+/// columns without the join attrs and its period, then T1, T2.
+class TemporalJoinCursor : public MergeJoinCursor {
+ public:
+  /// The index vectors address the respective child schemas; `schema` is the
+  /// algebra-derived output schema.
+  TemporalJoinCursor(CursorPtr left, CursorPtr right,
+                     std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+                     size_t left_t1, size_t left_t2, size_t right_t1,
+                     size_t right_t2, std::vector<size_t> left_out,
+                     std::vector<size_t> right_out, Schema schema);
+
+  const Schema& schema() const override { return schema_; }
+
+ protected:
+  bool EmitPair(const Tuple& left, const Tuple& right, Tuple* out) override;
+
+ private:
+  size_t left_t1_, left_t2_, right_t1_, right_t2_;
+  std::vector<size_t> left_out_, right_out_;
+  Schema schema_;
+};
+
+}  // namespace exec
+}  // namespace tango
+
+#endif  // TANGO_EXEC_JOIN_H_

@@ -1,0 +1,79 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace tango {
+namespace exec {
+
+Status SortCursor::SpillRun(std::vector<Tuple>* rows) {
+  std::stable_sort(rows->begin(), rows->end(), cmp_);
+  storage::RunFile run;
+  TANGO_RETURN_IF_ERROR(run.Open());
+  for (const Tuple& t : *rows) {
+    TANGO_RETURN_IF_ERROR(run.Append(t));
+  }
+  runs_.push_back(std::move(run));
+  rows->clear();
+  return Status::OK();
+}
+
+Status SortCursor::Init() {
+  TANGO_RETURN_IF_ERROR(child_->Init());
+  rows_.clear();
+  runs_.clear();
+  heap_.reset();
+  pos_ = 0;
+
+  size_t bytes = 0;
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    if (!more) break;
+    bytes += TupleByteSize(t);
+    rows_.push_back(std::move(t));
+    if (bytes > budget_) {
+      TANGO_RETURN_IF_ERROR(SpillRun(&rows_));
+      bytes = 0;
+    }
+  }
+
+  if (runs_.empty()) {
+    // Everything fit: plain in-memory sort.
+    std::stable_sort(rows_.begin(), rows_.end(), cmp_);
+    return Status::OK();
+  }
+
+  // Spill the tail run and set up the k-way merge.
+  if (!rows_.empty()) {
+    TANGO_RETURN_IF_ERROR(SpillRun(&rows_));
+  }
+  heap_ = std::make_unique<
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp>>(
+      HeapCmp{&cmp_});
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    TANGO_RETURN_IF_ERROR(runs_[i].Rewind());
+    Tuple head;
+    TANGO_ASSIGN_OR_RETURN(bool more, runs_[i].Next(&head));
+    if (more) heap_->push({std::move(head), i});
+  }
+  return Status::OK();
+}
+
+Result<bool> SortCursor::Next(Tuple* tuple) {
+  if (heap_ == nullptr) {
+    if (pos_ >= rows_.size()) return false;
+    *tuple = rows_[pos_++];
+    return true;
+  }
+  if (heap_->empty()) return false;
+  HeapEntry top = heap_->top();
+  heap_->pop();
+  *tuple = std::move(top.tuple);
+  Tuple next;
+  TANGO_ASSIGN_OR_RETURN(bool more, runs_[top.run].Next(&next));
+  if (more) heap_->push({std::move(next), top.run});
+  return true;
+}
+
+}  // namespace exec
+}  // namespace tango

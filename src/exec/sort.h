@@ -1,0 +1,68 @@
+#ifndef TANGO_EXEC_SORT_H_
+#define TANGO_EXEC_SORT_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/cursor.h"
+#include "storage/run_file.h"
+
+namespace tango {
+namespace exec {
+
+/// \brief SORT^M: external merge sort.
+///
+/// Consumes the child in Init; runs that fit in the memory budget are sorted
+/// with std::sort, larger inputs spill sorted runs to tmpfiles and k-way
+/// merge them — this is how the middleware "supports very large relations"
+/// (the paper's future-work item, implemented here).
+class SortCursor : public Cursor {
+ public:
+  static constexpr size_t kDefaultMemoryBudgetBytes = 32 << 20;
+
+  SortCursor(CursorPtr child, std::vector<SortKey> keys,
+             size_t memory_budget_bytes = kDefaultMemoryBudgetBytes)
+      : child_(std::move(child)),
+        cmp_(std::move(keys)),
+        budget_(memory_budget_bytes) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* tuple) override;
+  const Schema& schema() const override { return child_->schema(); }
+
+  /// Number of spilled runs (observability for tests; 0 = fully in memory).
+  size_t spilled_runs() const { return runs_.size(); }
+
+ private:
+  Status SpillRun(std::vector<Tuple>* rows);
+
+  CursorPtr child_;
+  TupleComparator cmp_;
+  size_t budget_;
+
+  // In-memory path.
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+
+  // External path: k-way merge over spilled runs.
+  std::vector<storage::RunFile> runs_;
+  struct HeapEntry {
+    Tuple tuple;
+    size_t run;
+  };
+  struct HeapCmp {
+    const TupleComparator* cmp;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      // priority_queue is a max-heap; invert for ascending output.
+      return cmp->Compare(a.tuple, b.tuple) > 0;
+    }
+  };
+  std::unique_ptr<std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp>>
+      heap_;
+};
+
+}  // namespace exec
+}  // namespace tango
+
+#endif  // TANGO_EXEC_SORT_H_

@@ -1,0 +1,111 @@
+#include "exec/transfer.h"
+
+namespace tango {
+namespace exec {
+
+TransferMCursor::TransferMCursor(dbms::Connection* conn, std::string sql,
+                                 Schema schema,
+                                 std::vector<CursorPtr> dependencies,
+                                 std::shared_ptr<TransferCache> cache)
+    : conn_(conn),
+      sql_(std::move(sql)),
+      schema_(std::move(schema)),
+      dependencies_(std::move(dependencies)),
+      cache_(std::move(cache)) {}
+
+Status TransferMCursor::Init() {
+  // Execute dependencies first (TRANSFER^D loads happen in their Init).
+  for (const CursorPtr& dep : dependencies_) {
+    TANGO_RETURN_IF_ERROR(dep->Init());
+    Tuple t;
+    while (true) {
+      TANGO_ASSIGN_OR_RETURN(bool more, dep->Next(&t));
+      if (!more) break;
+    }
+  }
+  cached_rows_ = nullptr;
+  cached_pos_ = 0;
+  // §7 refinement: identical statements within one plan transfer once.
+  if (cache_ != nullptr) {
+    cached_rows_ = cache_->Get(sql_);
+    if (cached_rows_ != nullptr) return Status::OK();
+  }
+  TANGO_ASSIGN_OR_RETURN(remote_, conn_->ExecuteQuery(sql_));
+  TANGO_RETURN_IF_ERROR(remote_->Init());
+  if (remote_->schema().num_columns() != schema_.num_columns()) {
+    return Status::Internal("TRANSFER^M schema arity mismatch: SQL \"" + sql_ +
+                            "\" returned " +
+                            std::to_string(remote_->schema().num_columns()) +
+                            " columns, plan expected " +
+                            std::to_string(schema_.num_columns()));
+  }
+  if (cache_ != nullptr && cache_->IsShared(sql_)) {
+    // Materialize once; this and every later occurrence serve locally.
+    std::vector<Tuple> rows;
+    Tuple t;
+    while (true) {
+      TANGO_ASSIGN_OR_RETURN(bool more, remote_->Next(&t));
+      if (!more) break;
+      rows.push_back(std::move(t));
+    }
+    remote_.reset();
+    cache_->Put(sql_, std::move(rows));
+    cached_rows_ = cache_->Get(sql_);
+  }
+  return Status::OK();
+}
+
+Result<bool> TransferMCursor::Next(Tuple* tuple) {
+  if (cached_rows_ != nullptr) {
+    if (cached_pos_ >= cached_rows_->size()) return false;
+    *tuple = (*cached_rows_)[cached_pos_++];
+    return true;
+  }
+  return remote_->Next(tuple);
+}
+
+TransferDCursor::TransferDCursor(dbms::Connection* conn,
+                                 std::string table_name,
+                                 std::vector<std::string> columns,
+                                 CursorPtr child)
+    : conn_(conn),
+      table_name_(std::move(table_name)),
+      columns_(std::move(columns)),
+      child_(std::move(child)) {}
+
+Status TransferDCursor::Init() {
+  // CREATE TABLE with the argument's schema.
+  const Schema& in = child_->schema();
+  if (columns_.size() != in.num_columns()) {
+    return Status::Internal("TRANSFER^D column name count mismatch");
+  }
+  std::string ddl = "CREATE TABLE " + table_name_ + " (";
+  for (size_t i = 0; i < in.num_columns(); ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += columns_[i];
+    ddl += " ";
+    ddl += DataTypeName(in.column(i).type);
+  }
+  ddl += ")";
+  TANGO_RETURN_IF_ERROR(conn_->Execute(ddl).status());
+
+  // Drain the argument and direct-path load it.
+  TANGO_RETURN_IF_ERROR(child_->Init());
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (true) {
+    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    if (!more) break;
+    rows.push_back(std::move(t));
+  }
+  rows_loaded_ = rows.size();
+  return conn_->BulkLoad(table_name_, rows);
+}
+
+Result<bool> TransferDCursor::Next(Tuple* tuple) {
+  (void)tuple;
+  return false;
+}
+
+}  // namespace exec
+}  // namespace tango

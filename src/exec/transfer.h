@@ -1,0 +1,110 @@
+#ifndef TANGO_EXEC_TRANSFER_H_
+#define TANGO_EXEC_TRANSFER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/cursor.h"
+#include "dbms/connection.h"
+
+namespace tango {
+namespace exec {
+
+/// \brief Shared result store for identical TRANSFER^M statements within
+/// one query execution.
+///
+/// The paper's §7 refinement: "if a query is to access the same DBMS
+/// relation twice (even if the projected attributes are different), it
+/// would be beneficial to issue only one T^M operation." The plan compiler
+/// marks SQL statements that occur more than once in a plan; the first
+/// TRANSFER^M to execute such a statement materializes the rows here, and
+/// later occurrences are served locally without a second round trip.
+class TransferCache {
+ public:
+  /// Marks `sql` as occurring multiple times in the plan (worth caching).
+  void MarkShared(const std::string& sql) { shared_.insert(sql); }
+  bool IsShared(const std::string& sql) const {
+    return shared_.count(sql) != 0;
+  }
+
+  std::shared_ptr<const std::vector<Tuple>> Get(const std::string& sql) const {
+    const auto it = results_.find(sql);
+    return it == results_.end() ? nullptr : it->second;
+  }
+  void Put(const std::string& sql, std::vector<Tuple> rows) {
+    results_[sql] = std::make_shared<const std::vector<Tuple>>(std::move(rows));
+  }
+
+ private:
+  std::set<std::string> shared_;
+  std::map<std::string, std::shared_ptr<const std::vector<Tuple>>> results_;
+};
+
+/// \brief TRANSFER^M: issues an SQL SELECT to the DBMS and streams the
+/// result tuples into the middleware (§3.2).
+///
+/// `dependencies` are cursors that must be fully executed before the SELECT
+/// is issued — the dashed "algorithm sequence" arrows of Figure 5: a
+/// TRANSFER^D that loads a temporary the SELECT reads from.
+class TransferMCursor : public Cursor {
+ public:
+  TransferMCursor(dbms::Connection* conn, std::string sql, Schema schema,
+                  std::vector<CursorPtr> dependencies = {},
+                  std::shared_ptr<TransferCache> cache = nullptr);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* tuple) override;
+  const Schema& schema() const override { return schema_; }
+
+  const std::string& sql() const { return sql_; }
+
+ private:
+  dbms::Connection* conn_;
+  std::string sql_;
+  Schema schema_;
+  std::vector<CursorPtr> dependencies_;
+  std::shared_ptr<TransferCache> cache_;
+  CursorPtr remote_;
+  // Set when serving from (or populating) the shared cache.
+  std::shared_ptr<const std::vector<Tuple>> cached_rows_;
+  size_t cached_pos_ = 0;
+};
+
+/// \brief TRANSFER^D: creates a table in the DBMS and bulk-loads its
+/// argument into it during Init (the paper: "it fetches all tuples of the
+/// argument result set and copies them into the DBMS").
+///
+/// Produces no tuples itself; downstream DBMS SQL references `table_name`.
+/// The table is created with an exact-size extent and no free space — the
+/// write-once optimizations of §3.2 — and must be dropped when the query
+/// ends (the execution engine does this).
+class TransferDCursor : public Cursor {
+ public:
+  /// `columns` are the (unique) column names for the created table, parallel
+  /// to the child schema.
+  TransferDCursor(dbms::Connection* conn, std::string table_name,
+                  std::vector<std::string> columns, CursorPtr child);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* tuple) override;
+  const Schema& schema() const override { return child_->schema(); }
+
+  const std::string& table_name() const { return table_name_; }
+  /// Number of tuples loaded (valid after Init).
+  size_t rows_loaded() const { return rows_loaded_; }
+
+ private:
+  dbms::Connection* conn_;
+  std::string table_name_;
+  std::vector<std::string> columns_;
+  CursorPtr child_;
+  size_t rows_loaded_ = 0;
+};
+
+}  // namespace exec
+}  // namespace tango
+
+#endif  // TANGO_EXEC_TRANSFER_H_

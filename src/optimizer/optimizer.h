@@ -1,0 +1,100 @@
+#ifndef TANGO_OPTIMIZER_OPTIMIZER_H_
+#define TANGO_OPTIMIZER_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "optimizer/memo.h"
+#include "optimizer/phys.h"
+
+namespace tango {
+namespace optimizer {
+
+/// \brief TANGO's query optimizer: Volcano-style exploration of the memo
+/// followed by top-down physical planning with site and order properties.
+///
+/// The initial plan assigns all processing to the DBMS with a single T^M on
+/// top (Figure 4a); here that is expressed as the root requirement
+/// {site = middleware}. Transfers and sorts are property enforcers, which
+/// realizes the paper's heuristics T1–T8 and the sort rules T10–T12 (see
+/// DESIGN.md §5 for the mapping); the remaining rules (selection pushdown /
+/// fusion, E1/E2, T9) run as memo transformations.
+class Optimizer {
+ public:
+  struct Options {
+    /// §3.3 semantic estimation of temporal predicates (off = the
+    /// straightforward method the paper shows being ~40x off).
+    bool semantic_temporal_selectivity = true;
+    /// Skip memo exploration (cost the initial plan's shape only).
+    bool enable_exploration = true;
+  };
+
+  explicit Optimizer(const cost::CostModel* model)
+      : Optimizer(model, Options()) {}
+  Optimizer(const cost::CostModel* model, Options options)
+      : model_(model), options_(options) {}
+
+  /// Base-relation statistics source (the Statistics Collector).
+  void set_scan_stats_provider(Memo::ScanStatsProvider provider) {
+    scan_stats_ = std::move(provider);
+  }
+
+  struct Optimized {
+    PhysPlanPtr plan;
+    /// The paper reports these per query ("12 equivalence classes with 29
+    /// class elements").
+    size_t num_classes = 0;
+    size_t num_elements = 0;
+    /// Entries in the physical winner table — the (class, site, order)
+    /// combinations the top-down search costed. The paper's element counts
+    /// include transfer/sort placement variants, which this implementation
+    /// explores here rather than in the memo.
+    size_t num_physical = 0;
+  };
+
+  /// Optimizes an initial logical plan. A top-level T^M (Figure 4a) is
+  /// accepted and stripped; the root is planned for {site = middleware}.
+  Result<Optimized> Optimize(algebra::OpPtr initial_plan);
+
+ private:
+  struct CacheKey {
+    size_t group;
+    std::string props;
+    bool no_tm;
+    bool no_td;
+    bool operator<(const CacheKey& other) const {
+      return std::tie(group, props, no_tm, no_td) <
+             std::tie(other.group, other.props, other.no_tm, other.no_td);
+    }
+  };
+
+  /// Best plan for `group` under the required properties. `no_transfer_m` /
+  /// `no_transfer_d` suppress the respective enforcer at this level only
+  /// (rules T7/T8: a transfer pair in sequence is redundant).
+  Result<PhysPlanPtr> FindBest(Memo* memo, size_t group,
+                               const PhysProps& props, bool no_transfer_m,
+                               bool no_transfer_d);
+
+  /// Plans one memo element under the required properties; null when the
+  /// element cannot satisfy them.
+  Result<PhysPlanPtr> PlanExpr(Memo* memo, size_t group, const MExpr& expr,
+                               const PhysProps& props);
+
+  PhysPlanPtr MakeNode(Algorithm alg, algebra::OpPtr op, Site site,
+                       std::vector<algebra::SortSpec> order, double self_cost,
+                       const Group& group,
+                       std::vector<PhysPlanPtr> children) const;
+
+  const cost::CostModel* model_;
+  Options options_;
+  Memo::ScanStatsProvider scan_stats_;
+  std::map<CacheKey, PhysPlanPtr> winners_;
+  std::set<std::string> in_progress_;
+};
+
+}  // namespace optimizer
+}  // namespace tango
+
+#endif  // TANGO_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#ifndef TANGO_SQL_AST_H_
+#define TANGO_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "expr/expr.h"
+
+namespace tango {
+namespace sql {
+
+struct SelectStmt;
+
+/// One entry of a SELECT list: an expression with an optional alias, or `*`
+/// (optionally qualified, `A.*`).
+struct SelectItem {
+  ExprPtr expr;       // null for star
+  std::string alias;  // upper-cased, may be empty
+  bool star = false;
+  std::string star_qualifier;  // for "A.*"
+};
+
+/// One entry of a FROM list: a base table or a parenthesized subquery, with
+/// an optional range-variable alias.
+struct TableRef {
+  std::string table;  // empty for subqueries
+  std::string alias;  // empty when none given
+  std::shared_ptr<SelectStmt> subquery;
+};
+
+/// One ORDER BY criterion.
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A SELECT statement (possibly the head of a UNION chain; ORDER BY applies
+/// to the whole chain and is only populated on the head).
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;                    // null when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                   // null when absent
+  std::vector<OrderItem> order_by;
+  std::shared_ptr<SelectStmt> union_next;  // next arm of the UNION chain
+  bool union_all = false;                   // modifies the link to union_next
+};
+
+/// CREATE TABLE name (col type, ...)  or  CREATE TABLE name AS select.
+struct CreateTableStmt {
+  std::string name;
+  std::vector<Column> columns;             // empty for AS form
+  std::shared_ptr<SelectStmt> as_select;   // null for column-list form
+};
+
+/// INSERT INTO name VALUES (...), (...).
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+/// ANALYZE [table]: recompute catalog statistics.
+struct AnalyzeStmt {
+  std::string table;  // empty = all tables
+};
+
+/// CREATE INDEX name ON table (column).
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::string column;
+};
+
+/// A parsed SQL statement (exactly one member is set).
+struct Statement {
+  std::shared_ptr<SelectStmt> select;
+  std::shared_ptr<CreateTableStmt> create_table;
+  std::shared_ptr<InsertStmt> insert;
+  std::shared_ptr<DropTableStmt> drop_table;
+  std::shared_ptr<AnalyzeStmt> analyze;
+  std::shared_ptr<CreateIndexStmt> create_index;
+};
+
+}  // namespace sql
+}  // namespace tango
+
+#endif  // TANGO_SQL_AST_H_

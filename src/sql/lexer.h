@@ -1,0 +1,83 @@
+#ifndef TANGO_SQL_LEXER_H_
+#define TANGO_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tango {
+namespace sql {
+
+/// Token categories produced by the lexer. Keywords are returned as kKeyword
+/// with the upper-cased text in `text`; identifiers likewise upper-cased.
+enum class TokenType {
+  kEnd,
+  kIdentifier,
+  kKeyword,
+  kInteger,
+  kFloat,
+  kString,     // 'quoted', quotes stripped, '' unescaped
+  kSymbol,     // one of ( ) , . * + - / = < > <= >= <> ;
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // canonical text (upper-cased for ident/keyword)
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;    // byte offset in the input, for error messages
+};
+
+/// \brief Hand-written SQL lexer shared by the SQL and temporal-SQL parsers.
+///
+/// `--` line comments are skipped. Date literals are handled by the parsers
+/// (DATE '1997-02-01'), not the lexer.
+class Lexer {
+ public:
+  /// Tokenizes the whole input; fails on unterminated strings or stray bytes.
+  static Result<std::vector<Token>> Tokenize(const std::string& input);
+};
+
+/// \brief Token cursor with the conveniences both parsers need.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  /// True and consumes when the next token is the given keyword.
+  bool AcceptKeyword(const std::string& kw);
+  /// True and consumes when the next token is the given symbol.
+  bool AcceptSymbol(const std::string& sym);
+  /// True without consuming.
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const;
+  bool PeekSymbol(const std::string& sym, size_t ahead = 0) const;
+
+  /// Errors mentioning what was expected and what was found.
+  Status ExpectKeyword(const std::string& kw);
+  Status ExpectSymbol(const std::string& sym);
+  Result<std::string> ExpectIdentifier();
+
+  Status ErrorHere(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sql
+}  // namespace tango
+
+#endif  // TANGO_SQL_LEXER_H_

@@ -1,0 +1,418 @@
+#include "sql/parser.h"
+
+#include "common/date.h"
+
+namespace tango {
+namespace sql {
+
+Result<Statement> Parser::Parse(const std::string& input) {
+  TANGO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(input));
+  TokenStream ts(std::move(tokens));
+  TANGO_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(&ts));
+  ts.AcceptSymbol(";");
+  if (!ts.AtEnd()) return ts.ErrorHere("unexpected trailing input");
+  return stmt;
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelect(
+    const std::string& input) {
+  TANGO_ASSIGN_OR_RETURN(Statement stmt, Parse(input));
+  if (stmt.select == nullptr) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  return stmt.select;
+}
+
+Result<Statement> Parser::ParseStatement(TokenStream* ts) {
+  Statement stmt;
+  if (ts->PeekKeyword("SELECT")) {
+    TANGO_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt(ts));
+    return stmt;
+  }
+  if (ts->AcceptKeyword("CREATE")) {
+    if (ts->AcceptKeyword("INDEX")) {
+      auto ci = std::make_shared<CreateIndexStmt>();
+      TANGO_ASSIGN_OR_RETURN(ci->name, ts->ExpectIdentifier());
+      TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("ON"));
+      TANGO_ASSIGN_OR_RETURN(ci->table, ts->ExpectIdentifier());
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+      TANGO_ASSIGN_OR_RETURN(ci->column, ts->ExpectIdentifier());
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+      stmt.create_index = std::move(ci);
+      return stmt;
+    }
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("TABLE"));
+    auto ct = std::make_shared<CreateTableStmt>();
+    TANGO_ASSIGN_OR_RETURN(ct->name, ts->ExpectIdentifier());
+    if (ts->AcceptKeyword("AS")) {
+      TANGO_ASSIGN_OR_RETURN(ct->as_select, ParseSelectStmt(ts));
+    } else {
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+      do {
+        TANGO_ASSIGN_OR_RETURN(Column col, ParseColumnDef(ts));
+        ct->columns.push_back(std::move(col));
+      } while (ts->AcceptSymbol(","));
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+    }
+    stmt.create_table = std::move(ct);
+    return stmt;
+  }
+  if (ts->AcceptKeyword("INSERT")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("INTO"));
+    auto ins = std::make_shared<InsertStmt>();
+    TANGO_ASSIGN_OR_RETURN(ins->table, ts->ExpectIdentifier());
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("VALUES"));
+    do {
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        TANGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(ts));
+        row.push_back(std::move(e));
+      } while (ts->AcceptSymbol(","));
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+      ins->rows.push_back(std::move(row));
+    } while (ts->AcceptSymbol(","));
+    stmt.insert = std::move(ins);
+    return stmt;
+  }
+  if (ts->AcceptKeyword("DROP")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("TABLE"));
+    auto drop = std::make_shared<DropTableStmt>();
+    TANGO_ASSIGN_OR_RETURN(drop->table, ts->ExpectIdentifier());
+    stmt.drop_table = std::move(drop);
+    return stmt;
+  }
+  if (ts->AcceptKeyword("ANALYZE")) {
+    auto an = std::make_shared<AnalyzeStmt>();
+    if (ts->Peek().type == TokenType::kIdentifier) {
+      TANGO_ASSIGN_OR_RETURN(an->table, ts->ExpectIdentifier());
+    }
+    stmt.analyze = std::move(an);
+    return stmt;
+  }
+  return ts->ErrorHere("expected a statement");
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectStmt(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> head, ParseSelectCore(ts));
+  // UNION chain.
+  SelectStmt* tail = head.get();
+  while (ts->AcceptKeyword("UNION")) {
+    const bool all = ts->AcceptKeyword("ALL");
+    TANGO_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> next,
+                           ParseSelectCore(ts));
+    tail->union_next = next;
+    tail->union_all = all;
+    tail = next.get();
+  }
+  // ORDER BY binds to the whole chain and lives on the head.
+  if (ts->AcceptKeyword("ORDER")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      TANGO_ASSIGN_OR_RETURN(item.expr, ParseExpression(ts));
+      if (ts->AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        ts->AcceptKeyword("ASC");
+      }
+      head->order_by.push_back(std::move(item));
+    } while (ts->AcceptSymbol(","));
+  }
+  return head;
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectCore(TokenStream* ts) {
+  TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("SELECT"));
+  auto stmt = std::make_shared<SelectStmt>();
+  if (ts->AcceptKeyword("DISTINCT")) stmt->distinct = true;
+  do {
+    TANGO_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem(ts));
+    stmt->items.push_back(std::move(item));
+  } while (ts->AcceptSymbol(","));
+  TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("FROM"));
+  do {
+    TANGO_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef(ts));
+    stmt->from.push_back(std::move(ref));
+  } while (ts->AcceptSymbol(","));
+  if (ts->AcceptKeyword("WHERE")) {
+    TANGO_ASSIGN_OR_RETURN(stmt->where, ParseExpression(ts));
+  }
+  if (ts->AcceptKeyword("GROUP")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("BY"));
+    do {
+      TANGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(ts));
+      stmt->group_by.push_back(std::move(e));
+    } while (ts->AcceptSymbol(","));
+  }
+  if (ts->AcceptKeyword("HAVING")) {
+    TANGO_ASSIGN_OR_RETURN(stmt->having, ParseExpression(ts));
+  }
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem(TokenStream* ts) {
+  SelectItem item;
+  if (ts->AcceptSymbol("*")) {
+    item.star = true;
+    return item;
+  }
+  // "A.*"
+  if (ts->Peek().type == TokenType::kIdentifier && ts->PeekSymbol(".", 1) &&
+      ts->PeekSymbol("*", 2)) {
+    item.star = true;
+    item.star_qualifier = ts->Next().text;
+    ts->Next();  // .
+    ts->Next();  // *
+    return item;
+  }
+  TANGO_ASSIGN_OR_RETURN(item.expr, ParseExpression(ts));
+  if (ts->AcceptKeyword("AS")) {
+    TANGO_ASSIGN_OR_RETURN(item.alias, ts->ExpectIdentifier());
+  } else if (ts->Peek().type == TokenType::kIdentifier) {
+    // Bare alias (Oracle style): SELECT A.PosID PosID ...
+    item.alias = ts->Next().text;
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef(TokenStream* ts) {
+  TableRef ref;
+  if (ts->AcceptSymbol("(")) {
+    TANGO_ASSIGN_OR_RETURN(ref.subquery, ParseSelectStmt(ts));
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+    // Alias is mandatory for subqueries (as in Oracle / standard SQL).
+    if (ts->Peek().type == TokenType::kIdentifier) {
+      ref.alias = ts->Next().text;
+    } else if (ts->AcceptKeyword("AS")) {
+      TANGO_ASSIGN_OR_RETURN(ref.alias, ts->ExpectIdentifier());
+    } else {
+      return ts->ErrorHere("subquery in FROM requires an alias");
+    }
+    return ref;
+  }
+  TANGO_ASSIGN_OR_RETURN(ref.table, ts->ExpectIdentifier());
+  if (ts->AcceptKeyword("AS")) {
+    TANGO_ASSIGN_OR_RETURN(ref.alias, ts->ExpectIdentifier());
+  } else if (ts->Peek().type == TokenType::kIdentifier) {
+    ref.alias = ts->Next().text;
+  }
+  return ref;
+}
+
+Result<ExprPtr> Parser::ParseExpression(TokenStream* ts) { return ParseOr(ts); }
+
+Result<ExprPtr> Parser::ParseOr(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd(ts));
+  while (ts->AcceptKeyword("OR")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd(ts));
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot(ts));
+  while (ts->AcceptKeyword("AND")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot(ts));
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot(TokenStream* ts) {
+  if (ts->AcceptKeyword("NOT")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr e, ParseNot(ts));
+    return Expr::Unary(UnaryOp::kNot, std::move(e));
+  }
+  return ParseComparison(ts);
+}
+
+Result<ExprPtr> Parser::ParseComparison(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive(ts));
+  if (ts->AcceptKeyword("IS")) {
+    const bool negated = ts->AcceptKeyword("NOT");
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("NULL"));
+    return Expr::Unary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                       std::move(lhs));
+  }
+  if (ts->AcceptKeyword("BETWEEN")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive(ts));
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("AND"));
+    TANGO_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive(ts));
+    return Expr::And(Expr::Binary(BinaryOp::kGe, lhs, std::move(lo)),
+                     Expr::Binary(BinaryOp::kLe, lhs, std::move(hi)));
+  }
+  static const struct {
+    const char* sym;
+    BinaryOp op;
+  } kOps[] = {
+      {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+      {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+  };
+  for (const auto& o : kOps) {
+    if (ts->AcceptSymbol(o.sym)) {
+      TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive(ts));
+      return Expr::Binary(o.op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative(ts));
+  while (true) {
+    if (ts->AcceptSymbol("+")) {
+      TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative(ts));
+      lhs = Expr::Binary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+    } else if (ts->AcceptSymbol("-")) {
+      TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative(ts));
+      lhs = Expr::Binary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary(ts));
+  while (true) {
+    if (ts->AcceptSymbol("*")) {
+      TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary(ts));
+      lhs = Expr::Binary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+    } else if (ts->AcceptSymbol("/")) {
+      TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary(ts));
+      lhs = Expr::Binary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary(TokenStream* ts) {
+  if (ts->AcceptSymbol("-")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary(ts));
+    if (e->kind == Expr::Kind::kLiteral && e->literal.is_int()) {
+      return Expr::Int(-e->literal.AsInt());
+    }
+    if (e->kind == Expr::Kind::kLiteral && e->literal.is_double()) {
+      return Expr::Real(-e->literal.AsDouble());
+    }
+    return Expr::Unary(UnaryOp::kNeg, std::move(e));
+  }
+  return ParsePrimary(ts);
+}
+
+Result<ExprPtr> Parser::ParsePrimary(TokenStream* ts) {
+  const Token& t = ts->Peek();
+  switch (t.type) {
+    case TokenType::kInteger: {
+      ts->Next();
+      return Expr::Int(t.int_value);
+    }
+    case TokenType::kFloat: {
+      ts->Next();
+      return Expr::Real(t.float_value);
+    }
+    case TokenType::kString: {
+      ts->Next();
+      return Expr::Str(t.text);
+    }
+    case TokenType::kKeyword: {
+      if (t.text == "NULL") {
+        ts->Next();
+        return Expr::Literal(Value::Null());
+      }
+      if (t.text == "DATE") {
+        ts->Next();
+        const Token& lit = ts->Peek();
+        if (lit.type != TokenType::kString) {
+          return ts->ErrorHere("expected date string after DATE");
+        }
+        ts->Next();
+        TANGO_ASSIGN_OR_RETURN(int64_t days, date::Parse(lit.text));
+        return Expr::Int(days);
+      }
+      // Aggregates.
+      static const struct {
+        const char* name;
+        AggFunc f;
+      } kAggs[] = {{"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+                   {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+                   {"AVG", AggFunc::kAvg}};
+      for (const auto& a : kAggs) {
+        if (t.text == a.name) {
+          ts->Next();
+          TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+          if (ts->AcceptSymbol("*")) {
+            TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+            return Expr::Aggregate(a.f, nullptr, /*star=*/true);
+          }
+          TANGO_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpression(ts));
+          TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+          return Expr::Aggregate(a.f, std::move(arg));
+        }
+      }
+      if (t.text == "GREATEST" || t.text == "LEAST") {
+        ts->Next();
+        TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+        std::vector<ExprPtr> args;
+        do {
+          TANGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(ts));
+          args.push_back(std::move(e));
+        } while (ts->AcceptSymbol(","));
+        TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+        return Expr::Function(t.text, std::move(args));
+      }
+      return ts->ErrorHere("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      ts->Next();
+      if (ts->AcceptSymbol(".")) {
+        TANGO_ASSIGN_OR_RETURN(std::string col, ts->ExpectIdentifier());
+        return Expr::Column(t.text, col);
+      }
+      return Expr::Column("", t.text);
+    }
+    case TokenType::kSymbol:
+      if (t.text == "(") {
+        ts->Next();
+        TANGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(ts));
+        TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+        return e;
+      }
+      return ts->ErrorHere("unexpected symbol in expression");
+    case TokenType::kEnd:
+      return ts->ErrorHere("unexpected end of input in expression");
+  }
+  return ts->ErrorHere("unexpected token");
+}
+
+Result<Column> Parser::ParseColumnDef(TokenStream* ts) {
+  Column col;
+  TANGO_ASSIGN_OR_RETURN(col.name, ts->ExpectIdentifier());
+  const Token& t = ts->Peek();
+  if (t.type != TokenType::kKeyword) return ts->ErrorHere("expected a type");
+  if (t.text == "INT" || t.text == "INTEGER" || t.text == "DATE") {
+    col.type = DataType::kInt;
+  } else if (t.text == "DOUBLE" || t.text == "FLOAT") {
+    col.type = DataType::kDouble;
+  } else if (t.text == "VARCHAR") {
+    col.type = DataType::kString;
+  } else {
+    return ts->ErrorHere("unknown type " + t.text);
+  }
+  ts->Next();
+  // Optional "(n)" length, accepted and ignored (VARCHAR(32)).
+  if (ts->AcceptSymbol("(")) {
+    if (ts->Peek().type != TokenType::kInteger) {
+      return ts->ErrorHere("expected a length");
+    }
+    ts->Next();
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+  }
+  return col;
+}
+
+}  // namespace sql
+}  // namespace tango

@@ -1,0 +1,61 @@
+#ifndef TANGO_SQL_PARSER_H_
+#define TANGO_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace tango {
+namespace sql {
+
+/// \brief Recursive-descent parser for the SQL subset the middleware
+/// generates and the DBMS executes.
+///
+/// Grammar (informally):
+///
+///     statement     := select | create_table | create_index | insert
+///                    | drop | analyze
+///     select        := SELECT [DISTINCT] items FROM refs [WHERE expr]
+///                      [GROUP BY exprs] [HAVING expr]
+///                      [UNION [ALL] select] [ORDER BY order_items]
+///     refs          := ref ("," ref)*           -- comma joins
+///     ref           := ident [alias] | "(" select ")" alias
+///     expr          := standard precedence climbing with OR < AND < NOT
+///                      < comparison/BETWEEN < +- < */ < unary
+///     literals      := integers, floats, 'strings', DATE 'YYYY-MM-DD', NULL
+///     functions     := GREATEST, LEAST; aggregates COUNT/SUM/MIN/MAX/AVG
+class Parser {
+ public:
+  /// Parses a single statement (a trailing ';' is allowed).
+  static Result<Statement> Parse(const std::string& input);
+
+  /// Parses a SELECT statement only.
+  static Result<std::shared_ptr<SelectStmt>> ParseSelect(
+      const std::string& input);
+
+  // ---- components reused by the temporal-SQL parser ----
+  static Result<ExprPtr> ParseExpression(TokenStream* ts);
+  static Result<std::shared_ptr<SelectStmt>> ParseSelectStmt(TokenStream* ts);
+  static Result<ExprPtr> ParseComparison(TokenStream* ts);
+
+ private:
+  static Result<Statement> ParseStatement(TokenStream* ts);
+  static Result<std::shared_ptr<SelectStmt>> ParseSelectCore(TokenStream* ts);
+  static Result<SelectItem> ParseSelectItem(TokenStream* ts);
+  static Result<TableRef> ParseTableRef(TokenStream* ts);
+  static Result<ExprPtr> ParseOr(TokenStream* ts);
+  static Result<ExprPtr> ParseAnd(TokenStream* ts);
+  static Result<ExprPtr> ParseNot(TokenStream* ts);
+  static Result<ExprPtr> ParseAdditive(TokenStream* ts);
+  static Result<ExprPtr> ParseMultiplicative(TokenStream* ts);
+  static Result<ExprPtr> ParseUnary(TokenStream* ts);
+  static Result<ExprPtr> ParsePrimary(TokenStream* ts);
+  static Result<Column> ParseColumnDef(TokenStream* ts);
+};
+
+}  // namespace sql
+}  // namespace tango
+
+#endif  // TANGO_SQL_PARSER_H_

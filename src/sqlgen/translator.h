@@ -1,0 +1,66 @@
+#ifndef TANGO_SQLGEN_TRANSLATOR_H_
+#define TANGO_SQLGEN_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "optimizer/phys.h"
+
+namespace tango {
+namespace sqlgen {
+
+/// Result of rendering one DBMS-resident plan fragment.
+struct RenderedSql {
+  /// A complete SELECT statement for the fragment.
+  std::string sql;
+  /// Emitted output column aliases, parallel to the fragment's algebra
+  /// schema (the middleware relies on positional compatibility).
+  std::vector<std::string> aliases;
+  /// Non-empty when the fragment is a bare table access (a base-table scan
+  /// or a TRANSFER^D temporary): parents then reference the table directly
+  /// in FROM instead of nesting a subquery — yielding the flat SQL of
+  /// Figure 5 and letting the DBMS planner use its index access paths.
+  std::string base_table;
+};
+
+/// \brief The Translator-To-SQL component: renders the parts of a chosen
+/// plan that occur in the DBMS into SQL (the parts below T^M's that either
+/// reach the leaf level or T^D's — Section 2.1).
+class Translator {
+ public:
+  /// `td_tables` maps each TRANSFER^D plan node inside fragments to the
+  /// temporary table name the execution engine will create for it.
+  explicit Translator(
+      std::map<const optimizer::PhysPlan*, std::string> td_tables)
+      : td_tables_(std::move(td_tables)) {}
+
+  /// Renders a fragment rooted at a DBMS-site node. The fragment's leaves
+  /// are base-table scans and TRANSFER^D nodes (emitted as references to
+  /// their temporary tables).
+  Result<RenderedSql> Render(const optimizer::PhysPlan& node);
+
+ private:
+  /// Allocates select-list aliases that are unique within one SELECT.
+  std::vector<std::string> MakeAliases(const Schema& schema);
+
+  std::string FreshSubqueryAlias() { return "S" + std::to_string(++alias_counter_); }
+
+  /// Prints an algebra expression against a child whose algebra schema is
+  /// `schema` and whose emitted aliases are `aliases`, qualifying column
+  /// references with `qualifier` (empty = bare aliases).
+  Result<std::string> RenderExpr(const ExprPtr& expr, const Schema& schema,
+                                 const std::vector<std::string>& aliases,
+                                 const std::string& qualifier);
+
+  /// Renders the nested temporal-aggregation SQL (the "50-line SQL query").
+  Result<RenderedSql> RenderTAggr(const optimizer::PhysPlan& node);
+
+  std::map<const optimizer::PhysPlan*, std::string> td_tables_;
+  int alias_counter_ = 0;
+};
+
+}  // namespace sqlgen
+}  // namespace tango
+
+#endif  // TANGO_SQLGEN_TRANSLATOR_H_

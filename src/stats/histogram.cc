@@ -1,0 +1,111 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tango {
+namespace stats {
+
+Histogram Histogram::BuildEquiDepth(std::vector<double> values,
+                                    size_t num_buckets) {
+  Histogram h;
+  if (values.empty() || num_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  const size_t buckets = std::min(num_buckets, n);
+  h.total_ = static_cast<double>(n);
+  size_t start = 0;
+  for (size_t i = 0; i < buckets; ++i) {
+    // Even split of the sorted values.
+    size_t end = (i + 1) * n / buckets;
+    if (end <= start) end = start + 1;
+    if (i + 1 == buckets) end = n;
+    Bucket b;
+    b.lo = values[start];
+    b.hi = values[end - 1];
+    b.count = static_cast<double>(end - start);
+    // Merge degenerate empty-range buckets into a single-point bucket; keep
+    // boundaries monotone.
+    if (!h.buckets_.empty() && b.lo < h.buckets_.back().hi) {
+      b.lo = h.buckets_.back().hi;
+      if (b.hi < b.lo) b.hi = b.lo;
+    }
+    h.buckets_.push_back(b);
+    start = end;
+    if (start >= n) break;
+  }
+  return h;
+}
+
+Histogram Histogram::BuildEquiWidth(std::vector<double> values,
+                                    size_t num_buckets) {
+  Histogram h;
+  if (values.empty() || num_buckets == 0) return h;
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  h.total_ = static_cast<double>(values.size());
+  if (mn == mx) {
+    h.buckets_.push_back({mn, mx, h.total_});
+    return h;
+  }
+  const double width = (mx - mn) / static_cast<double>(num_buckets);
+  h.buckets_.resize(num_buckets);
+  for (size_t i = 0; i < num_buckets; ++i) {
+    h.buckets_[i].lo = mn + width * static_cast<double>(i);
+    h.buckets_[i].hi = (i + 1 == num_buckets) ? mx : mn + width * static_cast<double>(i + 1);
+    h.buckets_[i].count = 0;
+  }
+  for (double v : values) {
+    size_t i = width > 0 ? static_cast<size_t>((v - mn) / width) : 0;
+    if (i >= num_buckets) i = num_buckets - 1;
+    h.buckets_[i].count += 1;
+  }
+  return h;
+}
+
+size_t Histogram::bNo(double a) const {
+  if (buckets_.empty()) return 0;
+  if (a <= buckets_.front().lo) return 0;
+  if (a >= buckets_.back().hi) return buckets_.size() - 1;
+  // Binary search on bucket upper boundaries.
+  size_t lo = 0, hi = buckets_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (a <= buckets_[mid].hi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double Histogram::EstimateLess(double a) const {
+  if (buckets_.empty()) return 0;
+  if (a <= min()) return 0;
+  if (a > max()) return total_;
+  const size_t i = bNo(a);
+  double below = 0;
+  for (size_t j = 0; j < i; ++j) below += buckets_[j].count;
+  const Bucket& b = buckets_[i];
+  const double span = b.hi - b.lo;
+  const double frac = span > 0 ? (a - b.lo) / span : 1.0;
+  return below + frac * b.count;
+}
+
+std::string Histogram::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s[%g,%g]:%g", i ? " " : "",
+                  buckets_[i].lo, buckets_[i].hi, buckets_[i].count);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace stats
+}  // namespace tango

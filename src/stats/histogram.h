@@ -1,0 +1,70 @@
+#ifndef TANGO_STATS_HISTOGRAM_H_
+#define TANGO_STATS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace tango {
+namespace stats {
+
+/// \brief Equi-depth (height-balanced) histogram over one numeric attribute.
+///
+/// This is the DBMS-maintainable statistic the paper's selectivity
+/// estimation relies on (§3.3): the functions b1(i,H), b2(i,H), bVal(i,H)
+/// and bNo(A,H) are methods here. Buckets partition [min, max]; each bucket
+/// stores its value count. Height-balanced construction makes all counts
+/// (nearly) equal, matching Oracle's histograms.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds a height-balanced histogram with (up to) `num_buckets` buckets
+  /// from a sample of attribute values. Values need not be sorted.
+  static Histogram BuildEquiDepth(std::vector<double> values,
+                                  size_t num_buckets);
+
+  /// Builds a width-balanced (equal-length buckets) histogram; supported to
+  /// show the formulas are valid for both kinds, as the paper notes.
+  static Histogram BuildEquiWidth(std::vector<double> values,
+                                  size_t num_buckets);
+
+  bool empty() const { return buckets_.empty(); }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Paper's b1(i, H): inclusive lower boundary of bucket i (0-based).
+  double b1(size_t i) const { return buckets_[i].lo; }
+  /// Paper's b2(i, H): upper boundary of bucket i.
+  double b2(size_t i) const { return buckets_[i].hi; }
+  /// Paper's bVal(i, H): number of values in bucket i.
+  double bVal(size_t i) const { return buckets_[i].count; }
+  /// Paper's bNo(A, H): index of the bucket containing value A
+  /// (clamped to the first/last bucket outside the domain).
+  size_t bNo(double a) const;
+
+  double total_count() const { return total_; }
+  double min() const { return empty() ? 0 : buckets_.front().lo; }
+  double max() const { return empty() ? 0 : buckets_.back().hi; }
+
+  /// Estimated number of values strictly below `a`: sum of the full buckets
+  /// before bNo(a) plus the uniform-within-bucket fraction — exactly the
+  /// paper's StartBefore/EndBefore interpolation.
+  double EstimateLess(double a) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Bucket {
+    double lo;
+    double hi;
+    double count;
+  };
+  std::vector<Bucket> buckets_;
+  double total_ = 0;
+};
+
+}  // namespace stats
+}  // namespace tango
+
+#endif  // TANGO_STATS_HISTOGRAM_H_

@@ -1,0 +1,239 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+namespace tango {
+namespace storage {
+
+void BPlusTree::Insert(const Value& key, const Rid& rid) {
+  if (root_->keys.size() >= kMaxEntries) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, rid);
+  ++size_;
+}
+
+void BPlusTree::SplitChild(Node* parent, size_t i) {
+  Node* child = parent->children[i].get();
+  auto sibling = std::make_unique<Node>(child->leaf);
+  const size_t mid = child->keys.size() / 2;
+
+  if (child->leaf) {
+    // Right half moves to the sibling; the separator is the first key of the
+    // sibling (B+-tree style: separators duplicate leaf keys).
+    sibling->keys.assign(child->keys.begin() + mid, child->keys.end());
+    sibling->rids.assign(child->rids.begin() + mid, child->rids.end());
+    child->keys.resize(mid);
+    child->rids.resize(mid);
+    sibling->next = child->next;
+    child->next = sibling.get();
+    parent->keys.insert(parent->keys.begin() + i, sibling->keys.front());
+  } else {
+    // The middle key moves up; children split around it.
+    const Value up = child->keys[mid];
+    sibling->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t j = mid + 1; j < child->children.size(); ++j) {
+      sibling->children.push_back(std::move(child->children[j]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + i, up);
+  }
+  parent->children.insert(parent->children.begin() + i + 1, std::move(sibling));
+}
+
+void BPlusTree::InsertNonFull(Node* node, const Value& key, const Rid& rid) {
+  if (node->leaf) {
+    // upper_bound keeps duplicate keys in insertion order.
+    const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->rids.insert(node->rids.begin() + pos, rid);
+    return;
+  }
+  size_t i = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  if (node->children[i]->keys.size() >= kMaxEntries) {
+    SplitChild(node, i);
+    if (key >= node->keys[i]) ++i;
+  }
+  InsertNonFull(node->children[i].get(), key, rid);
+}
+
+size_t BPlusTree::height() const {
+  size_t h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+const BPlusTree::Node* BPlusTree::LeftmostLeaf() const {
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children[0].get();
+  return n;
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(const Value& key) const {
+  // Descend with lower_bound so that duplicates of a separator key that live
+  // in the left subtree are not skipped; the leaf chain walk in the iterator
+  // then covers the duplicates that went right.
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[i].get();
+  }
+  return n;
+}
+
+bool BPlusTree::Iterator::Valid() const {
+  return leaf_ != nullptr;
+}
+
+bool BPlusTree::Iterator::Next(Value* key, Rid* rid) {
+  const auto* leaf = static_cast<const Node*>(leaf_);
+  while (leaf != nullptr && pos_ >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos_ = 0;
+  }
+  leaf_ = leaf;
+  if (leaf == nullptr) return false;
+  *key = leaf->keys[pos_];
+  *rid = leaf->rids[pos_];
+  ++pos_;
+  return true;
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  Iterator it;
+  it.leaf_ = LeftmostLeaf();
+  it.pos_ = 0;
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::SeekGE(const Value& key) const {
+  Iterator it;
+  const Node* leaf = FindLeaf(key);
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  it.leaf_ = leaf;
+  it.pos_ = pos;
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::SeekGT(const Value& key) const {
+  // Descend with upper_bound to reach the *rightmost* leaf that can contain
+  // `key`, so all duplicates are behind the returned position.
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    const size_t i = static_cast<size_t>(
+        std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[i].get();
+  }
+  Iterator it;
+  it.leaf_ = n;
+  it.pos_ = static_cast<size_t>(
+      std::upper_bound(n->keys.begin(), n->keys.end(), key) - n->keys.begin());
+  return it;
+}
+
+std::vector<Rid> BPlusTree::Lookup(const Value& key) const {
+  std::vector<Rid> out;
+  Iterator it = SeekGE(key);
+  Value k;
+  Rid rid;
+  while (it.Next(&k, &rid)) {
+    if (k != key) break;
+    out.push_back(rid);
+  }
+  return out;
+}
+
+size_t BPlusTree::LeafDepth() const {
+  size_t d = 0;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children[0].get();
+    ++d;
+  }
+  return d;
+}
+
+bool BPlusTree::CheckNode(const Node* node, const Value* lo, const Value* hi,
+                          size_t depth, size_t leaf_depth,
+                          std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  // Keys sorted and within (lo, hi] bounds.
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i + 1 < node->keys.size() && node->keys[i] > node->keys[i + 1]) {
+      return fail("unsorted keys in node");
+    }
+    if (lo != nullptr && node->keys[i] < *lo) return fail("key below bound");
+    if (hi != nullptr && node->keys[i] > *hi) return fail("key above bound");
+  }
+  if (node->leaf) {
+    if (depth != leaf_depth) return fail("leaves at different depths");
+    if (node->keys.size() != node->rids.size()) {
+      return fail("leaf key/rid size mismatch");
+    }
+    return true;
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return fail("internal child count mismatch");
+  }
+  // Fill bound: every non-root node must be at least ~1/3 full after splits.
+  if (node != root_.get() && node->keys.size() < kMaxEntries / 4) {
+    return fail("underfull internal node");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Value* clo = (i == 0) ? lo : &node->keys[i - 1];
+    const Value* chi = (i == node->keys.size()) ? hi : &node->keys[i];
+    if (!CheckNode(node->children[i].get(), clo, chi, depth + 1, leaf_depth,
+                   error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::CheckInvariants(std::string* error) const {
+  if (!CheckNode(root_.get(), nullptr, nullptr, 0, LeafDepth(), error)) {
+    return false;
+  }
+  // Leaf chain must visit exactly `size_` entries in nondecreasing order.
+  size_t count = 0;
+  const Node* leaf = LeftmostLeaf();
+  const Value* prev = nullptr;
+  while (leaf != nullptr) {
+    for (const Value& k : leaf->keys) {
+      if (prev != nullptr && *prev > k) {
+        if (error != nullptr) *error = "leaf chain out of order";
+        return false;
+      }
+      prev = &k;
+      ++count;
+    }
+    leaf = leaf->next;
+  }
+  if (count != size_) {
+    if (error != nullptr) *error = "leaf chain entry count mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace tango

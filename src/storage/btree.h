@@ -1,0 +1,90 @@
+#ifndef TANGO_STORAGE_BTREE_H_
+#define TANGO_STORAGE_BTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/page.h"
+
+namespace tango {
+namespace storage {
+
+/// \brief In-memory B+-tree secondary index over one attribute.
+///
+/// Keys are attribute `Value`s (duplicates allowed); payloads are record ids
+/// into the owning heap file. Supports point and range scans; the DBMS
+/// planner uses it for indexed selections and index-nested-loop joins, and
+/// the catalog derives the "clustering" statistic by comparing leaf order
+/// with heap order.
+class BPlusTree {
+ public:
+  BPlusTree() { root_ = std::make_unique<Node>(/*leaf=*/true); }
+
+  /// Inserts a (key, rid) entry; duplicate keys are kept in insert order.
+  void Insert(const Value& key, const Rid& rid);
+
+  size_t size() const { return size_; }
+  size_t height() const;
+
+  /// \brief Forward scan over (key, rid) entries in key order.
+  class Iterator {
+   public:
+    /// False when exhausted.
+    bool Next(Value* key, Rid* rid);
+    bool Valid() const;
+
+   private:
+    friend class BPlusTree;
+    const void* leaf_ = nullptr;  // current leaf node
+    size_t pos_ = 0;
+  };
+
+  /// Iterator positioned at the smallest key.
+  Iterator Begin() const;
+
+  /// Iterator positioned at the first entry with key >= `key`.
+  Iterator SeekGE(const Value& key) const;
+
+  /// Iterator positioned at the first entry with key > `key`.
+  Iterator SeekGT(const Value& key) const;
+
+  /// Collects the rids of all entries with exactly this key.
+  std::vector<Rid> Lookup(const Value& key) const;
+
+  /// Internal invariant check used by the property tests: sorted leaves,
+  /// linked leaf chain consistent, separator keys correct, node fill bounds.
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+ private:
+  static constexpr size_t kMaxEntries = 64;  // fan-out
+
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Value> keys;
+    // Leaf payloads (parallel to keys).
+    std::vector<Rid> rids;
+    // Internal children: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next = nullptr;  // leaf chain
+  };
+
+  // Splits `child` (the i-th child of `parent`) in half.
+  void SplitChild(Node* parent, size_t i);
+  void InsertNonFull(Node* node, const Value& key, const Rid& rid);
+  const Node* LeftmostLeaf() const;
+  const Node* FindLeaf(const Value& key) const;
+  bool CheckNode(const Node* node, const Value* lo, const Value* hi,
+                 size_t depth, size_t leaf_depth, std::string* error) const;
+  size_t LeafDepth() const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace tango
+
+#endif  // TANGO_STORAGE_BTREE_H_

@@ -1,0 +1,47 @@
+#include "storage/heap_file.h"
+
+namespace tango {
+namespace storage {
+
+Rid HeapFile::Append(const Tuple& tuple) {
+  WireWriter writer;
+  writer.PutTuple(tuple);
+  const std::vector<uint8_t>& encoded = writer.buffer();
+  if (pages_.empty()) pages_.emplace_back(page_size_);
+  int slot = pages_.back().Append(encoded);
+  if (slot < 0) {
+    pages_.emplace_back(page_size_);
+    slot = pages_.back().Append(encoded);
+  }
+  ++num_tuples_;
+  total_bytes_ += encoded.size();
+  return Rid{static_cast<uint32_t>(pages_.size() - 1),
+             static_cast<uint32_t>(slot)};
+}
+
+Result<Tuple> HeapFile::Get(const Rid& rid) const {
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page");
+  return pages_[rid.page].Read(rid.slot);
+}
+
+bool HeapFile::Iterator::Next(Tuple* tuple, Rid* rid) {
+  while (page_ < file_->pages_.size()) {
+    const Page& p = file_->pages_[page_];
+    if (slot_ < p.num_slots()) {
+      Result<Tuple> t = p.Read(slot_);
+      if (!t.ok()) return false;  // pages are never corrupt in-memory
+      *tuple = t.MoveValueOrDie();
+      if (rid != nullptr) {
+        *rid = Rid{static_cast<uint32_t>(page_), static_cast<uint32_t>(slot_)};
+      }
+      ++slot_;
+      return true;
+    }
+    ++page_;
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace storage
+}  // namespace tango

@@ -1,0 +1,65 @@
+#ifndef TANGO_STORAGE_HEAP_FILE_H_
+#define TANGO_STORAGE_HEAP_FILE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/schema.h"
+#include "storage/page.h"
+
+namespace tango {
+namespace storage {
+
+/// \brief Append-only heap file of pages; the physical representation of
+/// every DBMS table (base tables and the `T^D` temporaries alike).
+class HeapFile {
+ public:
+  explicit HeapFile(Schema schema, size_t page_size = kDefaultPageSize)
+      : schema_(std::move(schema)), page_size_(page_size) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a tuple, returning its record id.
+  Rid Append(const Tuple& tuple);
+
+  /// Reads the tuple at `rid`.
+  Result<Tuple> Get(const Rid& rid) const;
+
+  size_t num_tuples() const { return num_tuples_; }
+  size_t num_pages() const { return pages_.size(); }
+  /// Total encoded bytes — the `size(r)` statistic before averaging.
+  size_t total_bytes() const { return total_bytes_; }
+  double avg_tuple_bytes() const {
+    return num_tuples_ == 0
+               ? 0.0
+               : static_cast<double>(total_bytes_) / static_cast<double>(num_tuples_);
+  }
+
+  /// \brief Sequential scan yielding tuples (and their rids) page by page.
+  class Iterator {
+   public:
+    explicit Iterator(const HeapFile* file) : file_(file) {}
+
+    /// Advances to the next tuple; false at end of file.
+    bool Next(Tuple* tuple, Rid* rid = nullptr);
+
+   private:
+    const HeapFile* file_;
+    size_t page_ = 0;
+    size_t slot_ = 0;
+  };
+
+  Iterator Scan() const { return Iterator(this); }
+
+ private:
+  Schema schema_;
+  size_t page_size_;
+  std::vector<Page> pages_;
+  size_t num_tuples_ = 0;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace tango
+
+#endif  // TANGO_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,79 @@
+#ifndef TANGO_STORAGE_PAGE_H_
+#define TANGO_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "common/wire.h"
+
+namespace tango {
+namespace storage {
+
+/// Default page size; 8 KiB like most disk-based engines. Block counts
+/// derived from it feed the catalog statistics (`blocks(r)`).
+constexpr size_t kDefaultPageSize = 8192;
+
+/// \brief A slotted page holding serialized tuples.
+///
+/// Tuples are appended at the front of free space; a slot directory at the
+/// logical end records (offset, length) pairs. There is no delete/compact
+/// support — the middleware's `T^D` tables are write-once, matching the
+/// paper's "blocks of the new table do not have to contain any free space
+/// because the table will never be updated".
+class Page {
+ public:
+  explicit Page(size_t capacity = kDefaultPageSize) : capacity_(capacity) {}
+
+  /// Appends an encoded tuple; returns the slot index, or -1 if it no longer
+  /// fits (caller then allocates a fresh page).
+  int Append(const std::vector<uint8_t>& encoded) {
+    if (used_ + encoded.size() + kSlotOverhead > capacity_ && !slots_.empty()) {
+      return -1;
+    }
+    Slot s;
+    s.offset = static_cast<uint32_t>(data_.size());
+    s.length = static_cast<uint32_t>(encoded.size());
+    data_.insert(data_.end(), encoded.begin(), encoded.end());
+    slots_.push_back(s);
+    used_ += encoded.size() + kSlotOverhead;
+    return static_cast<int>(slots_.size() - 1);
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+  size_t used_bytes() const { return used_; }
+
+  /// Decodes the tuple in the given slot.
+  Result<Tuple> Read(size_t slot) const {
+    if (slot >= slots_.size()) return Status::NotFound("bad slot");
+    const Slot& s = slots_[slot];
+    WireReader reader(data_.data() + s.offset, s.length);
+    return reader.GetTuple();
+  }
+
+ private:
+  struct Slot {
+    uint32_t offset;
+    uint32_t length;
+  };
+  static constexpr size_t kSlotOverhead = sizeof(Slot);
+
+  size_t capacity_;
+  size_t used_ = 0;
+  std::vector<uint8_t> data_;
+  std::vector<Slot> slots_;
+};
+
+/// Record identifier: page number and slot within the page.
+struct Rid {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+};
+
+}  // namespace storage
+}  // namespace tango
+
+#endif  // TANGO_STORAGE_PAGE_H_

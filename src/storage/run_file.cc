@@ -1,0 +1,50 @@
+#include "storage/run_file.h"
+
+#include <vector>
+
+#include "common/wire.h"
+
+namespace tango {
+namespace storage {
+
+Status RunFile::Open() {
+  Close();
+  file_ = std::tmpfile();
+  if (file_ == nullptr) return Status::IOError("tmpfile() failed");
+  count_ = 0;
+  return Status::OK();
+}
+
+Status RunFile::Append(const Tuple& tuple) {
+  WireWriter writer;
+  writer.PutTuple(tuple);
+  const uint32_t n = static_cast<uint32_t>(writer.size());
+  if (std::fwrite(&n, sizeof(n), 1, file_) != 1 ||
+      std::fwrite(writer.buffer().data(), 1, n, file_) != n) {
+    return Status::IOError("run file write failed");
+  }
+  ++count_;
+  return Status::OK();
+}
+
+Status RunFile::Rewind() {
+  if (file_ == nullptr) return Status::IOError("run file not open");
+  std::rewind(file_);
+  return Status::OK();
+}
+
+Result<bool> RunFile::Next(Tuple* tuple) {
+  uint32_t n = 0;
+  const size_t got = std::fread(&n, sizeof(n), 1, file_);
+  if (got != 1) return false;  // end of run
+  std::vector<uint8_t> buf(n);
+  if (std::fread(buf.data(), 1, n, file_) != n) {
+    return Status::IOError("truncated run file");
+  }
+  WireReader reader(buf);
+  TANGO_ASSIGN_OR_RETURN(*tuple, reader.GetTuple());
+  return true;
+}
+
+}  // namespace storage
+}  // namespace tango

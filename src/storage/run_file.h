@@ -1,0 +1,67 @@
+#ifndef TANGO_STORAGE_RUN_FILE_H_
+#define TANGO_STORAGE_RUN_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace tango {
+namespace storage {
+
+/// \brief Spill file holding one sorted run of an external sort.
+///
+/// Tuples are appended via the wire codec and read back sequentially. The
+/// backing file is an anonymous tmpfile, deleted automatically on close —
+/// this is what lets the middleware algorithms "support very large
+/// relations" (the paper's future-work item).
+class RunFile {
+ public:
+  RunFile() = default;
+  ~RunFile() { Close(); }
+
+  RunFile(const RunFile&) = delete;
+  RunFile& operator=(const RunFile&) = delete;
+  RunFile(RunFile&& other) noexcept { *this = std::move(other); }
+  RunFile& operator=(RunFile&& other) noexcept {
+    if (this != &other) {
+      Close();
+      file_ = other.file_;
+      count_ = other.count_;
+      other.file_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+
+  /// Opens the backing tmpfile for writing.
+  Status Open();
+
+  /// Appends one tuple (write phase only).
+  Status Append(const Tuple& tuple);
+
+  /// Switches from writing to reading (rewinds).
+  Status Rewind();
+
+  /// Reads the next tuple; returns false at end of run.
+  Result<bool> Next(Tuple* tuple);
+
+  size_t count() const { return count_; }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  size_t count_ = 0;
+};
+
+}  // namespace storage
+}  // namespace tango
+
+#endif  // TANGO_STORAGE_RUN_FILE_H_

@@ -1,0 +1,76 @@
+#ifndef TANGO_TANGO_COMPILER_H_
+#define TANGO_TANGO_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbms/connection.h"
+#include "exec/instrument.h"
+#include "exec/transfer.h"
+#include "optimizer/phys.h"
+
+namespace tango {
+
+/// Association of an executed algorithm with its plan node, for the
+/// performance-feedback loop.
+struct CompiledNode {
+  size_t timing_id = 0;
+  const optimizer::PhysPlan* plan = nullptr;
+};
+
+/// An execution-ready plan (Figure 5): a cursor tree whose DBMS-resident
+/// fragments have been rendered to SQL, plus the temporary tables to drop
+/// when the query finishes.
+struct CompiledPlan {
+  CursorPtr root;
+  std::shared_ptr<exec::TimingSink> timings;
+  std::vector<std::string> temp_tables;
+  std::vector<CompiledNode> nodes;
+  /// The SQL statements issued by TRANSFER^M nodes (observability/EXPLAIN).
+  std::vector<std::string> sql_statements;
+  /// Shared store for identical TRANSFER^M statements (§7 refinement).
+  std::shared_ptr<exec::TransferCache> transfer_cache;
+};
+
+/// \brief Builds the execution-ready plan from an optimized physical plan:
+/// middleware algorithms become exec:: cursors, maximal DBMS fragments are
+/// rendered to SQL behind TRANSFER^M cursors, and TRANSFER^D nodes get
+/// unique temporary table names ("the name of the table created must be
+/// unique, and the table must be dropped at the end of the query", §3.2).
+class PlanCompiler {
+ public:
+  explicit PlanCompiler(dbms::Connection* conn) : conn_(conn) {}
+
+  /// Off disables the §7 shared-transfer refinement (ablation/testing).
+  void set_share_common_transfers(bool share) { share_transfers_ = share; }
+
+  /// Memory budget for each SORT^M before it spills runs to disk (the
+  /// paper's "support very large relations" enhancement).
+  void set_sort_memory_budget(size_t bytes) { sort_budget_ = bytes; }
+
+  Result<CompiledPlan> Compile(const optimizer::PhysPlanPtr& plan);
+
+  /// Column names used for a TRANSFER^D temporary table (unique-ified
+  /// algebra schema names; shared with the Translator-To-SQL).
+  static std::vector<std::string> TempTableColumns(const Schema& schema);
+
+ private:
+  Result<CursorPtr> CompileNode(const optimizer::PhysPlan& node,
+                                CompiledPlan* out, size_t* timing_id);
+  Result<CursorPtr> CompileTransferM(const optimizer::PhysPlan& node,
+                                     CompiledPlan* out, size_t* timing_id);
+
+  CursorPtr Instrument(CursorPtr cursor, const optimizer::PhysPlan& node,
+                       std::vector<size_t> child_ids, CompiledPlan* out,
+                       size_t* timing_id);
+
+  dbms::Connection* conn_;
+  int temp_counter_ = 0;
+  bool share_transfers_ = true;
+  size_t sort_budget_ = 32 << 20;
+};
+
+}  // namespace tango
+
+#endif  // TANGO_TANGO_COMPILER_H_

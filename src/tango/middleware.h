@@ -1,0 +1,112 @@
+#ifndef TANGO_TANGO_MIDDLEWARE_H_
+#define TANGO_TANGO_MIDDLEWARE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "dbms/connection.h"
+#include "optimizer/optimizer.h"
+#include "stats/stats.h"
+#include "tango/compiler.h"
+#include "tsql/tsql.h"
+
+namespace tango {
+
+/// \brief TANGO: the temporal middleware (Figure 1).
+///
+/// Wires together the components of the paper's architecture: the temporal
+/// SQL parser, the Statistics Collector, the Cost Estimator, the optimizer,
+/// the Translator-To-SQL, and the Execution Engine — all talking to the
+/// conventional DBMS through one connection.
+class Middleware {
+ public:
+  struct Config {
+    dbms::WireConfig wire;
+    /// Use histograms from the DBMS catalog in selectivity estimation; off
+    /// reproduces the paper's histogram-less optimizer runs (Query 2).
+    bool use_histograms = true;
+    /// §3.3 semantic temporal selectivity (off = straightforward method).
+    bool semantic_temporal_selectivity = true;
+    /// Update cost factors from measured execution times (the "adaptable"
+    /// feedback loop).
+    bool adapt = true;
+    double feedback_alpha = 0.3;
+    /// §7 refinement: identical TRANSFER^M statements within one plan are
+    /// issued once and shared.
+    bool share_common_transfers = true;
+    /// Memory each SORT^M may use before spilling runs to tmpfiles.
+    size_t sort_memory_budget_bytes = 32 << 20;
+  };
+
+  explicit Middleware(dbms::Engine* engine) : Middleware(engine, Config()) {}
+  Middleware(dbms::Engine* engine, Config config)
+      : config_(config), connection_(engine, config.wire) {}
+
+  dbms::Connection& connection() { return connection_; }
+  cost::CostModel& cost_model() { return cost_model_; }
+  const Config& config() const { return config_; }
+
+  /// Statistics Collector: pulls base-relation statistics from the DBMS
+  /// catalog for the given tables (or re-pulls everything already known).
+  Status CollectStatistics(const std::vector<std::string>& tables);
+
+  /// Access to collected statistics (tests, benches).
+  Result<stats::RelStats> TableStatistics(const std::string& table);
+
+  /// A fully optimized query, ready to execute.
+  struct Prepared {
+    algebra::OpPtr initial_plan;
+    optimizer::PhysPlanPtr plan;
+    size_t num_classes = 0;
+    size_t num_elements = 0;
+    size_t num_physical = 0;
+  };
+
+  /// Parses, plans, and optimizes a temporal-SQL query.
+  Result<Prepared> Prepare(const std::string& tsql_text);
+
+  /// Optimizes an already-built initial logical plan (benches use this to
+  /// study specific algebra shapes).
+  Result<Prepared> PrepareLogical(const algebra::OpPtr& initial_plan);
+
+  /// Result of executing a plan.
+  struct Execution {
+    Schema schema;
+    std::vector<Tuple> rows;
+    double elapsed_seconds = 0;
+    exec::TimingSink timings;
+    std::vector<std::string> sql_statements;
+  };
+
+  /// Compiles and executes a physical plan: runs the cursor tree, drops the
+  /// temporary tables, and (when configured) feeds measured times back into
+  /// the cost factors.
+  Result<Execution> Execute(const optimizer::PhysPlanPtr& plan);
+
+  /// Prepare + Execute in one call.
+  Result<Execution> Query(const std::string& tsql_text);
+
+  /// Human-readable explanation of a prepared query: the initial algebra,
+  /// the chosen physical plan with estimated costs, and the SQL each
+  /// TRANSFER^M would send — without executing anything.
+  Result<std::string> Explain(const Prepared& prepared);
+
+ private:
+  /// Applies the performance feedback of one execution to the cost factors.
+  void ApplyFeedback(const CompiledPlan& compiled,
+                     const exec::TimingSink& timings);
+
+  stats::RelStats StripHistograms(stats::RelStats rel) const;
+
+  Config config_;
+  dbms::Connection connection_;
+  cost::CostModel cost_model_;
+  std::map<std::string, stats::RelStats> table_stats_;
+};
+
+}  // namespace tango
+
+#endif  // TANGO_TANGO_MIDDLEWARE_H_

@@ -1,0 +1,544 @@
+#include "tsql/tsql.h"
+
+#include <memory>
+#include <vector>
+
+#include "sql/parser.h"
+
+namespace tango {
+namespace tsql {
+
+namespace {
+
+using sql::TokenStream;
+using sql::TokenType;
+
+struct Item {
+  ExprPtr expr;       // null for star
+  std::string alias;  // may be empty
+  bool star = false;
+};
+
+struct Ref {
+  std::string table;
+  std::string alias;  // range variable (defaults to table name)
+  std::shared_ptr<struct Query> subquery;
+};
+
+struct OrderItem {
+  std::string attr;
+  bool ascending = true;
+};
+
+struct Query {
+  bool temporal = false;
+  bool distinct = false;   // duplicate elimination (rdup)
+  bool coalesce = false;   // merge value-equivalent adjacent periods (coal)
+  std::vector<Item> items;
+  std::vector<Ref> refs;
+  ExprPtr where;
+  std::vector<std::string> group_by;
+  bool over_time = false;
+  std::vector<OrderItem> order_by;
+};
+
+// ---------------------------------------------------------------- parsing
+
+Result<std::shared_ptr<Query>> ParseQuery(TokenStream* ts);
+
+/// Predicate atom: OVERLAPS PERIOD (a, b), CONTAINS (a), NOT atom, or a
+/// plain SQL comparison.
+Result<ExprPtr> ParsePredAtom(TokenStream* ts) {
+  if (ts->AcceptKeyword("NOT")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr inner, ParsePredAtom(ts));
+    return Expr::Unary(UnaryOp::kNot, std::move(inner));
+  }
+  if (ts->AcceptKeyword("OVERLAPS")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("PERIOD"));
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+    TANGO_ASSIGN_OR_RETURN(ExprPtr a, sql::Parser::ParseExpression(ts));
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(","));
+    TANGO_ASSIGN_OR_RETURN(ExprPtr b, sql::Parser::ParseExpression(ts));
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+    // Overlaps(a, b) over closed-open periods: T1 < b AND T2 > a (§3.3).
+    return Expr::And(
+        Expr::Binary(BinaryOp::kLt, Expr::ColumnRef("T1"), std::move(b)),
+        Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("T2"), std::move(a)));
+  }
+  if (ts->AcceptKeyword("CONTAINS")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("("));
+    TANGO_ASSIGN_OR_RETURN(ExprPtr a, sql::Parser::ParseExpression(ts));
+    TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+    // Timeslice: T1 <= a AND T2 > a.
+    return Expr::And(
+        Expr::Binary(BinaryOp::kLe, Expr::ColumnRef("T1"), a),
+        Expr::Binary(BinaryOp::kGt, Expr::ColumnRef("T2"), a));
+  }
+  return sql::Parser::ParseComparison(ts);
+}
+
+Result<ExprPtr> ParsePredAnd(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePredAtom(ts));
+  while (ts->AcceptKeyword("AND")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePredAtom(ts));
+    lhs = Expr::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParsePredOr(TokenStream* ts) {
+  TANGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePredAnd(ts));
+  while (ts->AcceptKeyword("OR")) {
+    TANGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePredAnd(ts));
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::shared_ptr<Query>> ParseQuery(TokenStream* ts) {
+  auto q = std::make_shared<Query>();
+  q->temporal = ts->AcceptKeyword("TEMPORAL");
+  TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("SELECT"));
+  if (ts->AcceptKeyword("DISTINCT")) q->distinct = true;
+  if (ts->AcceptKeyword("COALESCE")) q->coalesce = true;
+
+  do {
+    Item item;
+    if (ts->AcceptSymbol("*")) {
+      item.star = true;
+    } else {
+      TANGO_ASSIGN_OR_RETURN(item.expr, sql::Parser::ParseExpression(ts));
+      if (ts->AcceptKeyword("AS")) {
+        TANGO_ASSIGN_OR_RETURN(item.alias, ts->ExpectIdentifier());
+      } else if (ts->Peek().type == TokenType::kIdentifier) {
+        item.alias = ts->Next().text;
+      }
+    }
+    q->items.push_back(std::move(item));
+  } while (ts->AcceptSymbol(","));
+
+  TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("FROM"));
+  do {
+    Ref ref;
+    if (ts->AcceptSymbol("(")) {
+      TANGO_ASSIGN_OR_RETURN(ref.subquery, ParseQuery(ts));
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol(")"));
+      if (ts->AcceptKeyword("AS")) {
+        TANGO_ASSIGN_OR_RETURN(ref.alias, ts->ExpectIdentifier());
+      } else if (ts->Peek().type == TokenType::kIdentifier) {
+        ref.alias = ts->Next().text;
+      } else {
+        return ts->ErrorHere("subquery in FROM requires an alias");
+      }
+    } else {
+      TANGO_ASSIGN_OR_RETURN(ref.table, ts->ExpectIdentifier());
+      if (ts->AcceptKeyword("AS")) {
+        TANGO_ASSIGN_OR_RETURN(ref.alias, ts->ExpectIdentifier());
+      } else if (ts->Peek().type == TokenType::kIdentifier) {
+        ref.alias = ts->Next().text;
+      } else {
+        ref.alias = ref.table;
+      }
+    }
+    q->refs.push_back(std::move(ref));
+  } while (ts->AcceptSymbol(","));
+
+  if (ts->AcceptKeyword("WHERE")) {
+    TANGO_ASSIGN_OR_RETURN(q->where, ParsePredOr(ts));
+  }
+  if (ts->AcceptKeyword("GROUP")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("BY"));
+    do {
+      const sql::Token& t = ts->Peek();
+      if (t.type != TokenType::kIdentifier) {
+        return ts->ErrorHere("expected a grouping column");
+      }
+      std::string col = ts->Next().text;
+      if (ts->AcceptSymbol(".")) {
+        TANGO_ASSIGN_OR_RETURN(std::string name, ts->ExpectIdentifier());
+        col += "." + name;
+      }
+      q->group_by.push_back(col);
+    } while (ts->AcceptSymbol(","));
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("OVER"));
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("TIME"));
+    q->over_time = true;
+  }
+  if (ts->AcceptKeyword("ORDER")) {
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("BY"));
+    do {
+      const sql::Token& t = ts->Peek();
+      if (t.type != TokenType::kIdentifier && t.text != "T1" &&
+          t.text != "T2") {
+        return ts->ErrorHere("expected an ORDER BY column");
+      }
+      std::string col = ts->Next().text;
+      if (ts->AcceptSymbol(".")) {
+        TANGO_ASSIGN_OR_RETURN(std::string name, ts->ExpectIdentifier());
+        col += "." + name;
+      }
+      OrderItem item;
+      item.attr = col;
+      if (ts->AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        ts->AcceptKeyword("ASC");
+      }
+      q->order_by.push_back(std::move(item));
+    } while (ts->AcceptSymbol(","));
+  }
+  return q;
+}
+
+// ------------------------------------------------------------ translation
+
+struct BoundRef {
+  algebra::OpPtr op;
+  std::string alias;
+  bool is_subquery = false;
+};
+
+/// True when a column reference (table, name) belongs to this FROM entry.
+bool RefResolves(const BoundRef& ref, const ExprPtr& col) {
+  if (!col->table.empty() && col->table != ref.alias) return false;
+  return ref.op->schema.IndexOf("", col->name).ok();
+}
+
+/// Attribute string resolvable inside the ref's own schema.
+std::string AttrInRef(const BoundRef& ref, const ExprPtr& col) {
+  if (ref.is_subquery) return col->name;  // subquery schemas are unqualified
+  return ref.alias + "." + col->name;
+}
+
+/// Subquery outputs carry no range-variable qualifier, so references like
+/// "C.PosID" (C being a subquery alias) are rewritten to bare names.
+ExprPtr StripSubqueryQualifiers(const ExprPtr& e,
+                                const std::vector<BoundRef>& refs) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == Expr::Kind::kColumn) {
+    if (!e->table.empty()) {
+      for (const BoundRef& r : refs) {
+        if (r.is_subquery && r.alias == e->table) {
+          return Expr::Column("", e->name);
+        }
+      }
+    }
+    return e;
+  }
+  auto copy = std::make_shared<Expr>(*e);
+  copy->children.clear();
+  for (const ExprPtr& c : e->children) {
+    copy->children.push_back(StripSubqueryQualifiers(c, refs));
+  }
+  return copy;
+}
+
+std::string StripSubqueryQualifier(const std::string& attr,
+                                   const std::vector<BoundRef>& refs) {
+  const size_t dot = attr.find('.');
+  if (dot == std::string::npos) return attr;
+  const std::string qual = ToUpper(attr.substr(0, dot));
+  for (const BoundRef& r : refs) {
+    if (r.is_subquery && r.alias == qual) return attr.substr(dot + 1);
+  }
+  return attr;
+}
+
+Result<algebra::OpPtr> TranslateBody(const Query& q,
+                                     const Parser::SchemaProvider& provider) {
+  // FROM entries.
+  std::vector<BoundRef> refs;
+  for (const Ref& r : q.refs) {
+    BoundRef bound;
+    if (r.subquery != nullptr) {
+      TANGO_ASSIGN_OR_RETURN(algebra::OpPtr sub,
+                             TranslateBody(*r.subquery, provider));
+      bound.op = std::move(sub);
+      bound.alias = ToUpper(r.alias);
+      bound.is_subquery = true;
+    } else {
+      TANGO_ASSIGN_OR_RETURN(Schema schema, provider(ToUpper(r.table)));
+      TANGO_ASSIGN_OR_RETURN(bound.op,
+                             algebra::Scan(r.table, schema, r.alias));
+      bound.alias = ToUpper(r.alias);
+    }
+    refs.push_back(std::move(bound));
+  }
+
+  // Classify WHERE conjuncts into join predicates and residual selections.
+  struct JoinPred {
+    size_t left_ref;
+    size_t right_ref;
+    std::string left_attr;
+    std::string right_attr;
+  };
+  std::vector<JoinPred> join_preds;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : SplitConjuncts(q.where)) {
+    bool is_join = false;
+    if (refs.size() > 1 && c->kind == Expr::Kind::kBinary &&
+        c->binary_op == BinaryOp::kEq &&
+        c->children[0]->kind == Expr::Kind::kColumn &&
+        c->children[1]->kind == Expr::Kind::kColumn) {
+      int li = -1, ri = -1;
+      for (size_t i = 0; i < refs.size(); ++i) {
+        if (RefResolves(refs[i], c->children[0]) && li < 0) {
+          li = static_cast<int>(i);
+        }
+        if (RefResolves(refs[i], c->children[1]) && ri < 0) {
+          ri = static_cast<int>(i);
+        }
+      }
+      if (li >= 0 && ri >= 0 && li != ri) {
+        JoinPred jp;
+        if (li < ri) {
+          jp.left_ref = static_cast<size_t>(li);
+          jp.right_ref = static_cast<size_t>(ri);
+          jp.left_attr = AttrInRef(refs[static_cast<size_t>(li)], c->children[0]);
+          jp.right_attr = AttrInRef(refs[static_cast<size_t>(ri)], c->children[1]);
+        } else {
+          jp.left_ref = static_cast<size_t>(ri);
+          jp.right_ref = static_cast<size_t>(li);
+          jp.left_attr = AttrInRef(refs[static_cast<size_t>(ri)], c->children[1]);
+          jp.right_attr = AttrInRef(refs[static_cast<size_t>(li)], c->children[0]);
+        }
+        join_preds.push_back(std::move(jp));
+        is_join = true;
+      }
+    }
+    if (!is_join && c != nullptr) {
+      residual.push_back(c);
+    }
+  }
+
+  // Conjuncts whose columns all belong to one FROM entry are applied to
+  // that entry before joining. This matters for temporal joins, whose
+  // output replaces the inputs' periods by the intersection: a predicate on
+  // A.T1 must see A's own period. Conjuncts spanning entries stay above.
+  std::vector<std::vector<ExprPtr>> pushed(refs.size());
+  {
+    std::vector<ExprPtr> keep;
+    for (const ExprPtr& c : residual) {
+      std::vector<std::string> cols;
+      CollectColumns(c, &cols);
+      int target = -1;
+      bool single = !cols.empty();
+      for (const std::string& col : cols) {
+        auto ref_expr = Expr::ColumnRef(col);
+        int owner = -1;
+        for (size_t i = 0; i < refs.size(); ++i) {
+          if (RefResolves(refs[i], ref_expr)) {
+            // Ambiguity across refs keeps the conjunct above the join.
+            owner = owner == -1 ? static_cast<int>(i) : -2;
+          }
+        }
+        if (owner < 0 || (target != -1 && owner != target)) {
+          single = false;
+          break;
+        }
+        target = owner;
+      }
+      if (single && target >= 0) {
+        pushed[static_cast<size_t>(target)].push_back(c);
+      } else {
+        keep.push_back(StripSubqueryQualifiers(c, refs));
+      }
+    }
+    residual = std::move(keep);
+  }
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (pushed[i].empty()) continue;
+    ExprPtr pred = Expr::AndAll(pushed[i]);
+    if (refs[i].is_subquery) pred = StripSubqueryQualifiers(pred, refs);
+    TANGO_ASSIGN_OR_RETURN(refs[i].op, algebra::Select(refs[i].op, pred));
+  }
+
+  // Left-deep join tree in FROM order.
+  algebra::OpPtr plan = refs[0].op;
+  std::vector<bool> joined(refs.size(), false);
+  joined[0] = true;
+  for (size_t i = 1; i < refs.size(); ++i) {
+    std::vector<std::pair<std::string, std::string>> attrs;
+    for (const JoinPred& jp : join_preds) {
+      if (jp.right_ref == i && joined[jp.left_ref]) {
+        attrs.emplace_back(jp.left_attr, jp.right_attr);
+      }
+    }
+    const bool temporal_join = q.temporal &&
+                               algebra::HasPeriod(plan->schema) &&
+                               algebra::HasPeriod(refs[i].op->schema);
+    if (temporal_join) {
+      TANGO_ASSIGN_OR_RETURN(plan, algebra::TJoin(plan, refs[i].op, attrs));
+    } else if (!attrs.empty()) {
+      TANGO_ASSIGN_OR_RETURN(plan, algebra::Join(plan, refs[i].op, attrs));
+    } else {
+      TANGO_ASSIGN_OR_RETURN(plan, algebra::Product(plan, refs[i].op));
+    }
+    joined[i] = true;
+  }
+
+  // Residual WHERE conjuncts.
+  if (!residual.empty()) {
+    TANGO_ASSIGN_OR_RETURN(plan,
+                           algebra::Select(plan, Expr::AndAll(residual)));
+  }
+
+  // Temporal aggregation.
+  if (q.over_time) {
+    std::vector<algebra::AggItem> aggs;
+    for (const Item& item : q.items) {
+      if (item.star || !ContainsAggregate(item.expr)) continue;
+      if (item.expr->kind != Expr::Kind::kAggregate) {
+        return Status::NotSupported(
+            "aggregates must appear bare in the select list");
+      }
+      algebra::AggItem agg;
+      agg.func = item.expr->agg;
+      if (!item.expr->agg_star) {
+        const ExprPtr arg =
+            StripSubqueryQualifiers(item.expr->children[0], refs);
+        if (arg->kind != Expr::Kind::kColumn) {
+          return Status::NotSupported("aggregate argument must be a column");
+        }
+        agg.arg = arg->table.empty() ? arg->name : arg->table + "." + arg->name;
+      }
+      agg.name = !item.alias.empty()
+                     ? item.alias
+                     : std::string(AggFuncName(agg.func)) + "OF" +
+                           (agg.arg.empty() ? "ALL" : ToUpper(agg.arg));
+      // Qualified default names would not be valid identifiers.
+      for (char& ch : agg.name) {
+        if (ch == '.') ch = '_';
+      }
+      aggs.push_back(std::move(agg));
+    }
+    if (aggs.empty()) {
+      return Status::InvalidArgument(
+          "GROUP BY ... OVER TIME requires at least one aggregate");
+    }
+    std::vector<std::string> group_by;
+    for (const std::string& g : q.group_by) {
+      group_by.push_back(StripSubqueryQualifier(g, refs));
+    }
+    TANGO_ASSIGN_OR_RETURN(plan, algebra::TAggregate(plan, group_by, aggs));
+  }
+
+  // Projection (skipped when the select list is `*` or matches the schema).
+  bool star_only = q.items.size() == 1 && q.items[0].star;
+  if (!star_only) {
+    std::vector<algebra::ProjectItem> items;
+    for (const Item& item : q.items) {
+      if (item.star) {
+        for (const Column& c : plan->schema.columns()) {
+          items.push_back({Expr::Column(c.table, c.name), c.name});
+        }
+        continue;
+      }
+      ExprPtr e = StripSubqueryQualifiers(item.expr, refs);
+      if (!q.over_time && ContainsAggregate(e)) {
+        return Status::NotSupported(
+            "aggregates require GROUP BY ... OVER TIME (temporal "
+            "aggregation); plain SQL aggregation belongs in the DBMS");
+      }
+      std::string name = item.alias;
+      if (q.over_time && e->kind == Expr::Kind::kAggregate) {
+        // Aggregates were computed by ξ^T; reference their output column.
+        std::string agg_name = name;
+        if (agg_name.empty()) {
+          std::string arg;
+          if (!e->agg_star) {
+            const ExprPtr& a = e->children[0];
+            arg = a->table.empty() ? a->name : a->table + "." + a->name;
+          }
+          agg_name = std::string(AggFuncName(e->agg)) + "OF" +
+                     (arg.empty() ? "ALL" : ToUpper(arg));
+          for (char& ch : agg_name) {
+            if (ch == '.') ch = '_';
+          }
+        }
+        e = Expr::Column("", agg_name);
+        name = agg_name;
+      }
+      if (name.empty()) {
+        name = e->kind == Expr::Kind::kColumn ? e->name : e->ToString();
+      }
+      items.push_back({std::move(e), std::move(name)});
+    }
+    // Temporal semantics: the period attributes are implicit — a TEMPORAL
+    // query's result always carries T1/T2 even when the select list omits
+    // them (as in the paper's aggregation example).
+    if (q.temporal && algebra::HasPeriod(plan->schema)) {
+      bool has_t1 = false, has_t2 = false;
+      for (const algebra::ProjectItem& item : items) {
+        if (ToUpper(item.name) == "T1") has_t1 = true;
+        if (ToUpper(item.name) == "T2") has_t2 = true;
+      }
+      if (!has_t1) items.push_back({Expr::ColumnRef("T1"), "T1"});
+      if (!has_t2) items.push_back({Expr::ColumnRef("T2"), "T2"});
+    }
+    // Identity projection detection (T9's pre-condition).
+    bool identity = items.size() == plan->schema.num_columns();
+    if (identity) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].expr->kind != Expr::Kind::kColumn ||
+            items[i].expr->name != plan->schema.column(i).name ||
+            ToUpper(items[i].name) != plan->schema.column(i).name) {
+          identity = false;
+          break;
+        }
+      }
+    }
+    if (!identity) {
+      TANGO_ASSIGN_OR_RETURN(plan, algebra::Project(plan, items));
+    }
+  }
+
+  // Duplicate elimination and coalescing over the (projected) result.
+  // Coalescing merges value-equivalent tuples with adjacent or overlapping
+  // periods — the operator the paper lists among those "later added to
+  // TANGO" and for which Vassilakis's optimization scheme applies.
+  if (q.distinct) {
+    TANGO_ASSIGN_OR_RETURN(plan, algebra::DupElim(plan));
+  }
+  if (q.coalesce) {
+    if (!algebra::HasPeriod(plan->schema)) {
+      return Status::InvalidArgument("COALESCE requires a temporal result");
+    }
+    TANGO_ASSIGN_OR_RETURN(plan, algebra::Coalesce(plan));
+  }
+
+  // ORDER BY.
+  if (!q.order_by.empty()) {
+    std::vector<algebra::SortSpec> keys;
+    for (const OrderItem& o : q.order_by) {
+      keys.push_back({StripSubqueryQualifier(o.attr, refs), o.ascending});
+    }
+    TANGO_ASSIGN_OR_RETURN(plan, algebra::Sort(plan, keys));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<algebra::OpPtr> Parser::Parse(const std::string& text,
+                                     const SchemaProvider& provider) {
+  TANGO_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens,
+                         sql::Lexer::Tokenize(text));
+  TokenStream ts(std::move(tokens));
+  TANGO_ASSIGN_OR_RETURN(std::shared_ptr<Query> q, ParseQuery(&ts));
+  TANGO_ASSIGN_OR_RETURN(algebra::OpPtr plan, TranslateBody(*q, provider));
+  // EXCEPT chain: multiset difference (the − of the temporal algebra; its
+  // only implementation is the middleware's DIFF^M).
+  while (ts.AcceptKeyword("EXCEPT")) {
+    TANGO_ASSIGN_OR_RETURN(std::shared_ptr<Query> rhs, ParseQuery(&ts));
+    TANGO_ASSIGN_OR_RETURN(algebra::OpPtr rhs_plan,
+                           TranslateBody(*rhs, provider));
+    TANGO_ASSIGN_OR_RETURN(plan, algebra::Difference(plan, rhs_plan));
+  }
+  ts.AcceptSymbol(";");
+  if (!ts.AtEnd()) return ts.ErrorHere("unexpected trailing input");
+  return algebra::TransferM(plan);
+}
+
+}  // namespace tsql
+}  // namespace tango

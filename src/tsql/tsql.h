@@ -1,0 +1,48 @@
+#ifndef TANGO_TSQL_TSQL_H_
+#define TANGO_TSQL_TSQL_H_
+
+#include <functional>
+#include <string>
+
+#include "algebra/algebra.h"
+#include "common/status.h"
+
+namespace tango {
+namespace tsql {
+
+/// \brief Parser for TANGO's temporal SQL dialect, producing the initial
+/// query plan of Figure 4(a): an all-DBMS algebra tree with a single T^M on
+/// top.
+///
+/// Dialect (documented in README.md):
+///
+///     [TEMPORAL] SELECT items
+///     FROM ref [alias] (, ref [alias])*
+///     [WHERE predicate]
+///     [GROUP BY cols OVER TIME]
+///     [ORDER BY cols [ASC|DESC]]
+///
+/// * With the TEMPORAL prefix, equality conjuncts between two FROM entries
+///   become *temporal joins* (periods must overlap; the result carries the
+///   intersected T1/T2). Without it, they are regular equijoins.
+/// * `GROUP BY cols OVER TIME` is temporal aggregation ξ^T: aggregates in
+///   the select list are computed over the constant periods of each group.
+/// * `OVERLAPS PERIOD (a, b)` in WHERE desugars to `T1 < b AND T2 > a`
+///   (closed-open periods); `CONTAINS a` desugars to `T1 <= a AND T2 > a`
+///   (the timeslice of §3.3).
+/// * Subqueries in FROM may themselves be [TEMPORAL] SELECTs.
+class Parser {
+ public:
+  /// Supplies base-relation schemas (the middleware fetches them from the
+  /// DBMS catalog over the connection).
+  using SchemaProvider = std::function<Result<Schema>(const std::string&)>;
+
+  /// Parses `text` into an initial logical plan (top operator: T^M).
+  static Result<algebra::OpPtr> Parse(const std::string& text,
+                                      const SchemaProvider& provider);
+};
+
+}  // namespace tsql
+}  // namespace tango
+
+#endif  // TANGO_TSQL_TSQL_H_

@@ -1,0 +1,57 @@
+#ifndef TANGO_WORKLOAD_UIS_H_
+#define TANGO_WORKLOAD_UIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbms/engine.h"
+
+namespace tango {
+namespace workload {
+
+/// \brief Synthetic stand-in for the University Information System dataset
+/// (TIMECENTER CD-1) the paper's experiments use.
+///
+/// Matches every statistic the paper reports:
+///  * EMPLOYEE: 49,972 tuples x 31 attributes, ~13.8 MB;
+///  * POSITION: 83,857 tuples x 8 attributes, ~6.7 MB;
+///  * eight POSITION variants of 8k..74k tuples;
+///  * period mass concentrated after 1992, ~65% of POSITION periods
+///    starting in 1995 or later (the property Query 3 hinges on);
+///  * position ids shared by a handful of employees over time (the
+///    grouping-key skew temporal aggregation exercises).
+struct UisOptions {
+  size_t employee_rows = 49972;
+  size_t position_rows = 83857;
+  uint64_t seed = 42;
+  /// Build the secondary indexes the experiments rely on (EMPLOYEE.EMPNAME
+  /// for the nested-loop join of Query 4; POSITION.T1/T2 for selections).
+  bool build_indexes = true;
+  /// Run ANALYZE after loading.
+  bool analyze = true;
+};
+
+/// Creates and populates EMPLOYEE and POSITION in the DBMS.
+Status LoadUis(dbms::Engine* db, const UisOptions& options);
+
+/// Creates a POSITION variant (same generator, first `rows` tuples) named
+/// e.g. POSITION_8000, as the paper's eight size variants.
+Status LoadPositionVariant(dbms::Engine* db, const std::string& name,
+                           size_t rows, const UisOptions& options);
+
+/// Creates the §3.3 selectivity relation: `rows` tuples with 7-day periods
+/// uniformly distributed over 1995-01-01 .. 2000-01-01.
+Status LoadUniformR(dbms::Engine* db, const std::string& name, size_t rows,
+                    uint64_t seed = 7);
+
+/// Generates the POSITION rows (shared by LoadUis and the variants).
+std::vector<Tuple> GeneratePositionRows(size_t rows, uint64_t seed);
+
+/// POSITION's schema DDL column list (without table name).
+std::string PositionDdlColumns();
+
+}  // namespace workload
+}  // namespace tango
+
+#endif  // TANGO_WORKLOAD_UIS_H_

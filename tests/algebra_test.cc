@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+
+namespace tango {
+namespace algebra {
+namespace {
+
+Schema PosSchema() {
+  return Schema({{"", "POSID", DataType::kInt},
+                 {"", "EMPNAME", DataType::kString},
+                 {"", "T1", DataType::kInt},
+                 {"", "T2", DataType::kInt}});
+}
+
+OpPtr PosScan(const std::string& alias = "") {
+  return Scan("POSITION", PosSchema(), alias).ValueOrDie();
+}
+
+TEST(AlgebraTest, ScanQualifiesSchema) {
+  auto scan = PosScan("A");
+  EXPECT_EQ(scan->schema.column(0).table, "A");
+  EXPECT_EQ(scan->schema.IndexOf("A.POSID").ValueOrDie(), 0u);
+  // Default alias is the table name.
+  auto plain = PosScan();
+  EXPECT_EQ(plain->schema.column(0).table, "POSITION");
+}
+
+TEST(AlgebraTest, SelectValidatesPredicate) {
+  auto ok = Select(PosScan(), Expr::Binary(BinaryOp::kEq,
+                                           Expr::ColumnRef("POSID"),
+                                           Expr::Int(1)));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie()->schema.num_columns(), 4u);
+  auto bad = Select(PosScan(), Expr::Binary(BinaryOp::kEq,
+                                            Expr::ColumnRef("NOPE"),
+                                            Expr::Int(1)));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(AlgebraTest, ProjectDerivesTypes) {
+  auto p = Project(PosScan(), {{Expr::ColumnRef("POSID"), "PID"},
+                               {Expr::Binary(BinaryOp::kSub,
+                                             Expr::ColumnRef("T2"),
+                                             Expr::ColumnRef("T1")),
+                                "DUR"}});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.ValueOrDie()->schema.column(0).name, "PID");
+  EXPECT_EQ(p.ValueOrDie()->schema.column(1).type, DataType::kInt);
+}
+
+TEST(AlgebraTest, TJoinSchemaDropsJoinAttrAndIntersectsPeriod) {
+  // TAGGR(POSITION) ⋈^T POSITION on PosID, as in the running example.
+  auto agg = TAggregate(PosScan(), {"POSID"},
+                        {{AggFunc::kCount, "POSID", "COUNTOFPOSID"}});
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  // Aggregation schema: POSID, T1, T2, COUNTOFPOSID.
+  EXPECT_EQ(agg.ValueOrDie()->schema.num_columns(), 4u);
+  EXPECT_EQ(agg.ValueOrDie()->schema.column(3).name, "COUNTOFPOSID");
+  EXPECT_EQ(agg.ValueOrDie()->schema.column(3).type, DataType::kInt);
+
+  auto tj = TJoin(agg.ValueOrDie(), PosScan("B"), {{"POSID", "B.POSID"}});
+  ASSERT_TRUE(tj.ok()) << tj.status().ToString();
+  // left minus period: POSID, COUNTOFPOSID; right minus join attr + period:
+  // EMPNAME; then T1, T2.
+  const Schema& s = tj.ValueOrDie()->schema;
+  ASSERT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.column(0).name, "POSID");
+  EXPECT_EQ(s.column(1).name, "COUNTOFPOSID");
+  EXPECT_EQ(s.column(2).name, "EMPNAME");
+  EXPECT_EQ(s.column(3).name, "T1");
+  EXPECT_EQ(s.column(4).name, "T2");
+}
+
+TEST(AlgebraTest, TJoinRequiresPeriods) {
+  Schema no_period({{"", "X", DataType::kInt}});
+  auto scan = Scan("R", no_period).ValueOrDie();
+  EXPECT_FALSE(TJoin(scan, PosScan(), {}).ok());
+  EXPECT_FALSE(TAggregate(scan, {}, {{AggFunc::kCount, "", "C"}}).ok());
+  EXPECT_FALSE(Coalesce(scan).ok());
+}
+
+TEST(AlgebraTest, TAggregateAvgIsDouble) {
+  auto agg = TAggregate(PosScan(), {}, {{AggFunc::kAvg, "POSID", "A"}});
+  ASSERT_TRUE(agg.ok());
+  // Schema: T1, T2, A.
+  EXPECT_EQ(agg.ValueOrDie()->schema.num_columns(), 3u);
+  EXPECT_EQ(agg.ValueOrDie()->schema.column(2).type, DataType::kDouble);
+}
+
+TEST(AlgebraTest, DifferenceRequiresCompatibleArms) {
+  auto a = PosScan("A");
+  auto b = PosScan("B");
+  EXPECT_TRUE(Difference(a, b).ok());
+  Schema other({{"", "X", DataType::kInt}});
+  EXPECT_FALSE(Difference(a, Scan("R", other).ValueOrDie()).ok());
+}
+
+TEST(AlgebraTest, InitialPlanOfFigure4a) {
+  // T^M(sort(π(⋈^T(ξ(POSITION), POSITION)))) — the running example's
+  // initial plan shape.
+  auto agg = TAggregate(PosScan("A"), {"POSID"},
+                        {{AggFunc::kCount, "POSID", "COUNTOFPOSID"}})
+                 .ValueOrDie();
+  auto tj = TJoin(agg, PosScan("B"), {{"POSID", "B.POSID"}}).ValueOrDie();
+  auto proj = Project(tj, {{Expr::ColumnRef("POSID"), "POSID"},
+                           {Expr::ColumnRef("EMPNAME"), "EMPNAME"},
+                           {Expr::ColumnRef("T1"), "T1"},
+                           {Expr::ColumnRef("T2"), "T2"},
+                           {Expr::ColumnRef("COUNTOFPOSID"), "COUNTOFPOSID"}})
+                  .ValueOrDie();
+  auto sorted = Sort(proj, {{"POSID", true}}).ValueOrDie();
+  auto plan = TransferM(sorted).ValueOrDie();
+  EXPECT_EQ(plan->schema.num_columns(), 5u);
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("T^M"), std::string::npos);
+  EXPECT_NE(rendered.find("TAGGR"), std::string::npos);
+  EXPECT_NE(rendered.find("TJOIN"), std::string::npos);
+}
+
+TEST(AlgebraTest, WithChildrenRebuildsAndRederives) {
+  auto sel = Select(PosScan(), Expr::Binary(BinaryOp::kLt,
+                                            Expr::ColumnRef("T1"),
+                                            Expr::Int(100)))
+                 .ValueOrDie();
+  auto rebuilt = WithChildren(*sel, {PosScan("Z")});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.ValueOrDie()->schema.column(0).table, "Z");
+}
+
+TEST(AlgebraTest, FingerprintsDistinguishParameters) {
+  auto s1 = Sort(PosScan(), {{"POSID", true}}).ValueOrDie();
+  auto s2 = Sort(PosScan(), {{"POSID", false}}).ValueOrDie();
+  auto s3 = Sort(PosScan(), {{"POSID", true}}).ValueOrDie();
+  EXPECT_NE(s1->ParamFingerprint(), s2->ParamFingerprint());
+  EXPECT_EQ(s1->ParamFingerprint(), s3->ParamFingerprint());
+  EXPECT_TRUE(s1->Equals(*s3));
+  EXPECT_FALSE(s1->Equals(*s2));
+}
+
+TEST(AlgebraTest, EqualsComparesDeeply) {
+  auto a = Select(PosScan(), Expr::Binary(BinaryOp::kEq,
+                                          Expr::ColumnRef("POSID"),
+                                          Expr::Int(1)))
+               .ValueOrDie();
+  auto b = Select(PosScan(), Expr::Binary(BinaryOp::kEq,
+                                          Expr::ColumnRef("POSID"),
+                                          Expr::Int(1)))
+               .ValueOrDie();
+  auto c = Select(PosScan("X"), Expr::Binary(BinaryOp::kEq,
+                                             Expr::ColumnRef("POSID"),
+                                             Expr::Int(1)))
+               .ValueOrDie();
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace tango

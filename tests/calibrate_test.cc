@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "cost/calibrate.h"
+#include "dbms/engine.h"
+
+namespace tango {
+namespace cost {
+namespace {
+
+TEST(CalibratorTest, FitsPositiveFactorsAndCleansUp) {
+  dbms::Engine db;
+  dbms::WireConfig wire;
+  wire.simulate_delay = false;
+  dbms::Connection conn(&db, wire);
+
+  Calibrator::Options opts;
+  opts.probe_rows = 4096;  // keep the unit test fast
+  Calibrator calibrator(&conn, opts);
+  CostModel model;
+  auto report = calibrator.Calibrate(&model);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const CostFactors& f = model.factors();
+  // Every calibrated factor must be positive and finite.
+  for (double v : {f.tm, f.td, f.sem, f.taggm1, f.taggm2, f.taggd1, f.taggd2,
+                   f.sortm, f.mjm, f.tjm, f.scand, f.sortd, f.joind}) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1e4);
+  }
+  // The central asymmetry the paper measures: temporal aggregation per
+  // input byte is far more expensive in the DBMS than in the middleware.
+  EXPECT_GT(f.taggd1 + f.taggd2, (f.taggm1 + f.taggm2) * 2);
+
+  // Probe tables are dropped.
+  for (const std::string& t : db.catalog().TableNames()) {
+    EXPECT_EQ(t.find("CALIB"), std::string::npos) << t;
+  }
+  EXPECT_GT(report.ValueOrDie().probe_seconds, 0.0);
+  EXPECT_FALSE(report.ValueOrDie().ToString().empty());
+}
+
+TEST(CalibratorTest, WirePacingRaisesTransferFactor) {
+  dbms::Engine db;
+
+  dbms::WireConfig fast;
+  fast.simulate_delay = false;
+  dbms::Connection fast_conn(&db, fast);
+  Calibrator::Options opts;
+  opts.probe_rows = 4096;
+  CostModel fast_model;
+  ASSERT_TRUE(Calibrator(&fast_conn, opts).Calibrate(&fast_model).ok());
+
+  dbms::WireConfig slow;
+  slow.simulate_delay = true;
+  slow.bytes_per_second = 5e6;
+  dbms::Connection slow_conn(&db, slow);
+  CostModel slow_model;
+  ASSERT_TRUE(Calibrator(&slow_conn, opts).Calibrate(&slow_model).ok());
+
+  // A slower wire must calibrate to a larger per-byte transfer factor.
+  EXPECT_GT(slow_model.factors().tm, fast_model.factors().tm * 2);
+}
+
+}  // namespace
+}  // namespace cost
+}  // namespace tango

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "common/wire.h"
+
+namespace tango {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("relation POSITION");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "Not found: relation POSITION");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 42);
+
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value::Null(), Value("abc"));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.0), Value(int64_t{3}));
+}
+
+TEST(ValueTest, StringsCompareLexicographically) {
+  EXPECT_LT(Value("ABC"), Value("ABD"));
+  EXPECT_GT(Value("B"), Value("AZZZ"));
+  // Numbers sort before strings in the total order.
+  EXPECT_LT(Value(int64_t{999}), Value("0"));
+}
+
+TEST(ValueTest, ToSqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value("O'Neil").ToSqlLiteral(), "'O''Neil'");
+  EXPECT_EQ(Value(int64_t{7}).ToSqlLiteral(), "7");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value("xy").Hash(), Value("xy").Hash());
+  EXPECT_NE(Value("xy").Hash(), Value("xz").Hash());
+}
+
+TEST(ValueTest, ByteSizeReflectsContent) {
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value("abcd").ByteSize(), 6u);
+  Tuple t = {Value(int64_t{1}), Value("ab")};
+  EXPECT_EQ(TupleByteSize(t), 4u + 8u + 4u);
+}
+
+TEST(SchemaTest, IndexOfUnqualified) {
+  Schema s({{"A", "POSID", DataType::kInt}, {"A", "T1", DataType::kInt}});
+  EXPECT_EQ(s.IndexOf("POSID").ValueOrDie(), 0u);
+  EXPECT_EQ(s.IndexOf("T1").ValueOrDie(), 1u);
+  EXPECT_FALSE(s.IndexOf("NOPE").ok());
+}
+
+TEST(SchemaTest, QualifiedResolutionAndAmbiguity) {
+  Schema s({{"A", "POSID", DataType::kInt}, {"B", "POSID", DataType::kInt}});
+  EXPECT_FALSE(s.IndexOf("POSID").ok());  // ambiguous
+  EXPECT_EQ(s.IndexOf("A.POSID").ValueOrDie(), 0u);
+  EXPECT_EQ(s.IndexOf("B.POSID").ValueOrDie(), 1u);
+}
+
+TEST(SchemaTest, CaseInsensitiveLookup) {
+  Schema s({{"", "POSID", DataType::kInt}});
+  EXPECT_TRUE(s.IndexOf("posid").ok());
+  EXPECT_TRUE(s.IndexOf("PosID").ok());
+}
+
+TEST(SchemaTest, WithQualifierAndConcat) {
+  Schema s({{"", "X", DataType::kInt}});
+  Schema q = s.WithQualifier("t");
+  EXPECT_EQ(q.column(0).table, "T");
+  Schema c = Schema::Concat(q, s);
+  EXPECT_EQ(c.num_columns(), 2u);
+  EXPECT_EQ(c.IndexOf("T.X").ValueOrDie(), 0u);
+}
+
+TEST(TupleComparatorTest, MultiKeyWithDirections) {
+  TupleComparator cmp({{0, true}, {1, false}});
+  Tuple a = {Value(int64_t{1}), Value(int64_t{5})};
+  Tuple b = {Value(int64_t{1}), Value(int64_t{9})};
+  Tuple c = {Value(int64_t{2}), Value(int64_t{0})};
+  EXPECT_TRUE(cmp(b, a));  // same first key, second key DESC
+  EXPECT_TRUE(cmp(a, c));
+  EXPECT_EQ(cmp.Compare(a, a), 0);
+}
+
+TEST(DateTest, RoundTrip) {
+  for (int y : {1970, 1983, 1995, 2000, 2026}) {
+    for (int m : {1, 2, 6, 12}) {
+      const int64_t d = date::FromYmd(y, m, 15);
+      int yy, mm, dd;
+      date::ToYmd(d, &yy, &mm, &dd);
+      EXPECT_EQ(yy, y);
+      EXPECT_EQ(mm, m);
+      EXPECT_EQ(dd, 15);
+    }
+  }
+}
+
+TEST(DateTest, EpochAndKnownValues) {
+  EXPECT_EQ(date::FromYmd(1970, 1, 1), 0);
+  EXPECT_EQ(date::FromYmd(1970, 1, 2), 1);
+  EXPECT_EQ(date::FromYmd(1969, 12, 31), -1);
+  // The paper's selectivity example: 1819 days between Jan 1 1995 and
+  // Dec 25 1999 (distinct T1 values).
+  EXPECT_EQ(date::FromYmd(1999, 12, 25) - date::FromYmd(1995, 1, 1), 1819);
+}
+
+TEST(DateTest, ParseAndFormat) {
+  auto r = date::Parse("1997-02-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(date::Format(r.ValueOrDie()), "1997-02-01");
+  EXPECT_FALSE(date::Parse("1997/02/01").ok());
+  EXPECT_FALSE(date::Parse("1997-13-01").ok());
+}
+
+TEST(WireTest, TupleRoundTrip) {
+  Tuple t = {Value(int64_t{-5}), Value(3.25), Value("hello"), Value::Null()};
+  WireWriter w;
+  w.PutTuple(t);
+  WireReader r(w.buffer());
+  auto back = r.GetTuple();
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.ValueOrDie().size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.ValueOrDie()[i].Compare(t[i]), 0) << i;
+    EXPECT_EQ(back.ValueOrDie()[i].is_null(), t[i].is_null()) << i;
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, UnderrunDetected) {
+  WireWriter w;
+  w.PutTuple({Value("abcdef")});
+  std::vector<uint8_t> cut(w.buffer().begin(), w.buffer().end() - 3);
+  WireReader r(cut);
+  EXPECT_FALSE(r.GetTuple().ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, SkewedFavorsSmallValues) {
+  Rng rng(2);
+  int64_t below = 0;
+  const int64_t n = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Skewed(n, 0.5) < n / 10) ++below;
+  }
+  // With theta=0.5 skew, far more than 10% of the mass is in the lowest 10%.
+  EXPECT_GT(below, 2000);
+}
+
+}  // namespace
+}  // namespace tango

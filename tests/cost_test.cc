@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "sql/parser.h"
+
+namespace tango {
+namespace cost {
+namespace {
+
+ExprPtr Pred(const std::string& text) {
+  return sql::Parser::ParseSelect("SELECT X FROM T WHERE " + text)
+      .ValueOrDie()
+      ->where;
+}
+
+TEST(CostModelTest, Figure6FormulasScaleWithSize) {
+  CostModel m;
+  // Transfers: linear in size(r) plus the statement round trip.
+  EXPECT_GT(m.TransferM(1000), m.factors().stmt);
+  EXPECT_NEAR(m.TransferM(2000) - m.TransferM(1000),
+              m.factors().tm * 1000, 1e-9);
+  EXPECT_NEAR(m.TransferD(2000) - m.TransferD(1000),
+              m.factors().td * 1000, 1e-9);
+  // Selection: linear in size and in f(P).
+  EXPECT_DOUBLE_EQ(m.FilterM(2, 1000), 2 * m.FilterM(1, 1000));
+  // Temporal aggregation: both input and output terms.
+  EXPECT_GT(m.TAggrM(1000, 2000), m.TAggrM(1000, 100));
+  EXPECT_GT(m.TAggrD(1000, 100), 0);
+  // Selection / projection in the DBMS are free (§3.1).
+  EXPECT_DOUBLE_EQ(m.SelectD(), 0);
+  EXPECT_DOUBLE_EQ(m.ProjectD(), 0);
+}
+
+TEST(CostModelTest, DefaultsEncodeThePapersAsymmetry) {
+  CostModel m;
+  // The reason Query 1 behaves as it does: per byte, temporal aggregation
+  // is far cheaper in the middleware than via the DBMS's SQL formulation.
+  EXPECT_GT(m.TAggrD(1e6, 1e6), 5 * m.TAggrM(1e6, 1e6));
+}
+
+TEST(CostModelTest, SortCostsGrowLogLinearly) {
+  CostModel m;
+  const double s1 = m.SortM(1e6, 1e4);
+  const double s2 = m.SortM(2e6, 2e4);
+  EXPECT_GT(s2, 2 * s1);           // superlinear
+  EXPECT_LT(s2, 2.5 * s1);         // but only by the log factor
+  EXPECT_GT(m.SortM(1e6, 1e4), m.SortD(1e6, 1e4) * 0.5);  // same order
+  // Degenerate cardinalities do not produce zero/negative costs.
+  EXPECT_GT(m.SortM(100, 1), 0);
+  EXPECT_GT(m.SortD(100, 0), 0);
+}
+
+TEST(CostModelTest, PredicateCoefficientCountsComparisons) {
+  EXPECT_DOUBLE_EQ(CostModel::PredicateCoefficient(nullptr), 0);
+  EXPECT_DOUBLE_EQ(CostModel::PredicateCoefficient(Pred("A = 1")), 1);
+  EXPECT_DOUBLE_EQ(
+      CostModel::PredicateCoefficient(Pred("A = 1 AND B < 2 AND C > 3")), 3);
+  EXPECT_DOUBLE_EQ(
+      CostModel::PredicateCoefficient(Pred("A = 1 OR (B < 2 AND C > 3)")), 3);
+  EXPECT_DOUBLE_EQ(CostModel::PredicateCoefficient(Pred("NOT A = 1")), 1);
+}
+
+TEST(CostModelTest, FeedbackMovesFactorTowardObservation) {
+  double factor = 1.0;
+  // Observed 2 us/byte, alpha 0.5 -> midpoint.
+  CostModel::Feedback(&factor, /*observed_us=*/2000, /*size=*/1000, 0.5);
+  EXPECT_DOUBLE_EQ(factor, 1.5);
+  // Converges to the observed ratio under repetition.
+  for (int i = 0; i < 50; ++i) {
+    CostModel::Feedback(&factor, 2000, 1000, 0.5);
+  }
+  EXPECT_NEAR(factor, 2.0, 1e-6);
+  // Degenerate observations leave the factor untouched.
+  CostModel::Feedback(&factor, 0, 1000, 0.5);
+  CostModel::Feedback(&factor, 1000, 0, 0.5);
+  EXPECT_NEAR(factor, 2.0, 1e-6);
+}
+
+TEST(CostModelTest, FactorsRenderForLogs) {
+  CostModel m;
+  const std::string s = m.factors().ToString();
+  EXPECT_NE(s.find("p_tm"), std::string::npos);
+  EXPECT_NE(s.find("p_taggd1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cost
+}  // namespace tango

@@ -1,0 +1,227 @@
+// Planner-focused DBMS tests: access-path selection, join-method forcing,
+// and the executor behaviours the generated temporal SQL depends on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dbms/engine.h"
+
+namespace tango {
+namespace dbms {
+namespace {
+
+/// A table of `n` rows: K in [0, distinct_k), V = row index, T in [0, n).
+void LoadKv(Engine* db, const std::string& name, int n, int distinct_k) {
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE " + name + " (K INT, V INT, T INT)").ok());
+  std::vector<Tuple> rows;
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value(static_cast<int64_t>(i % distinct_k)),
+                    Value(static_cast<int64_t>(i)),
+                    Value(rng.Uniform(0, n))});
+  }
+  ASSERT_TRUE(db->BulkLoad(name, rows).ok());
+}
+
+TEST(PlannerTest, IndexChosenOnlyWhenSelective) {
+  Engine db;
+  LoadKv(&db, "R", 2000, 100);
+  ASSERT_TRUE(db.Execute("CREATE INDEX IT ON R (T)").ok());
+  ASSERT_TRUE(db.Execute("ANALYZE R").ok());
+
+  // A narrow range is under the index threshold, a wide one is not; both
+  // must return the same rows as each other and as a no-index baseline.
+  for (const char* where : {"T >= 100 AND T < 140", "T >= 100 AND T < 1900"}) {
+    auto with = db.Execute(std::string("SELECT V FROM R WHERE ") + where +
+                           " ORDER BY V");
+    ASSERT_TRUE(with.ok()) << with.status().ToString();
+    // Baseline through a fresh engine without the index.
+    Engine plain;
+    LoadKv(&plain, "R", 2000, 100);
+    auto without = plain.Execute(std::string("SELECT V FROM R WHERE ") +
+                                 where + " ORDER BY V");
+    ASSERT_TRUE(without.ok());
+    ASSERT_EQ(with.ValueOrDie().rows.size(), without.ValueOrDie().rows.size());
+  }
+}
+
+TEST(PlannerTest, IndexEqualityLookup) {
+  Engine db;
+  LoadKv(&db, "R", 3000, 300);
+  ASSERT_TRUE(db.Execute("CREATE INDEX IK ON R (K)").ok());
+  ASSERT_TRUE(db.Execute("ANALYZE R").ok());
+  auto r = db.Execute("SELECT V FROM R WHERE K = 7 ORDER BY V");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 10u);  // 3000/300
+  for (const Tuple& t : r.ValueOrDie().rows) {
+    EXPECT_EQ(t[0].AsInt() % 300, 7);
+  }
+}
+
+TEST(PlannerTest, ForcedJoinMethodsAgreeOnThreeWayJoin) {
+  Engine db;
+  LoadKv(&db, "A", 300, 30);
+  LoadKv(&db, "B", 200, 30);
+  LoadKv(&db, "C", 100, 30);
+  ASSERT_TRUE(db.Execute("CREATE INDEX IBK ON B (K)").ok());
+  ASSERT_TRUE(db.Execute("CREATE INDEX ICK ON C (K)").ok());
+  ASSERT_TRUE(db.Execute("ANALYZE").ok());
+  const char* q =
+      "SELECT A.V, B.V, C.V FROM A, B, C "
+      "WHERE A.K = B.K AND B.K = C.K AND A.V < 50 AND B.V < 40 AND C.V < 30 "
+      "ORDER BY A.V, B.V, C.V";
+  std::vector<std::vector<Tuple>> results;
+  for (auto m : {SessionConfig::JoinMethod::kAuto,
+                 SessionConfig::JoinMethod::kHash,
+                 SessionConfig::JoinMethod::kMerge,
+                 SessionConfig::JoinMethod::kNestedLoop}) {
+    db.config().forced_join = m;
+    auto r = db.Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    results.push_back(r.ValueOrDie().rows);
+  }
+  db.config().forced_join = SessionConfig::JoinMethod::kAuto;
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].size(), results[0].size()) << "method " << i;
+    for (size_t j = 0; j < results[i].size(); ++j) {
+      for (size_t c = 0; c < results[i][j].size(); ++c) {
+        EXPECT_EQ(results[i][j][c].Compare(results[0][j][c]), 0);
+      }
+    }
+  }
+  EXPECT_GT(results[0].size(), 0u);
+}
+
+TEST(PlannerTest, CrossJoinConjunctPlacement) {
+  Engine db;
+  LoadKv(&db, "A", 50, 10);
+  LoadKv(&db, "B", 40, 10);
+  // A non-equi cross conjunct must be evaluated as a join residual.
+  auto r = db.Execute(
+      "SELECT A.V, B.V FROM A, B WHERE A.K = B.K AND A.V + B.V < 20");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const Tuple& t : r.ValueOrDie().rows) {
+    EXPECT_LT(t[0].AsInt() + t[1].AsInt(), 20);
+  }
+  EXPECT_GT(r.ValueOrDie().rows.size(), 0u);
+}
+
+TEST(PlannerTest, PureInequalityJoinFallsBackToNestedLoop) {
+  Engine db;
+  LoadKv(&db, "A", 60, 6);
+  LoadKv(&db, "B", 50, 6);
+  auto r = db.Execute("SELECT A.V, B.V FROM A, B WHERE A.V < B.V");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  size_t expected = 0;
+  for (int a = 0; a < 60; ++a) {
+    for (int b = 0; b < 50; ++b) {
+      if (a < b) ++expected;
+    }
+  }
+  EXPECT_EQ(r.ValueOrDie().rows.size(), expected);
+}
+
+TEST(PlannerTest, NestedSubqueryChains) {
+  Engine db;
+  LoadKv(&db, "R", 500, 50);
+  auto r = db.Execute(
+      "SELECT M FROM "
+      "(SELECT K, MAX(V) AS M FROM "
+      "  (SELECT K, V FROM R WHERE V >= 100) X "
+      " GROUP BY K) Y "
+      "WHERE M > 490 ORDER BY M");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Max V per K for V in [100, 500): K = V % 50, so max per K is in
+  // [450, 500); those > 490 are 491..499 -> 9 rows.
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 9u);
+}
+
+TEST(PlannerTest, GroupByQualifiedColumns) {
+  Engine db;
+  LoadKv(&db, "A", 100, 5);
+  LoadKv(&db, "B", 100, 5);
+  auto r = db.Execute(
+      "SELECT A.K, COUNT(*) AS C FROM A, B WHERE A.K = B.K "
+      "GROUP BY A.K ORDER BY A.K");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.ValueOrDie().rows.size(), 5u);
+  // 20 rows per key on each side -> 400 join pairs per key.
+  EXPECT_EQ(r.ValueOrDie().rows[0][1].AsInt(), 400);
+}
+
+TEST(PlannerTest, OrderByDescAndMixedDirections) {
+  Engine db;
+  LoadKv(&db, "R", 50, 7);
+  auto r = db.Execute("SELECT K, V FROM R ORDER BY K DESC, V ASC");
+  ASSERT_TRUE(r.ok());
+  const auto& rows = r.ValueOrDie().rows;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const int c = rows[i - 1][0].Compare(rows[i][0]);
+    EXPECT_GE(c, 0);
+    if (c == 0) {
+      EXPECT_LE(rows[i - 1][1].Compare(rows[i][1]), 0);
+    }
+  }
+}
+
+TEST(PlannerTest, ConstantPredicatePushesAnywhere) {
+  Engine db;
+  LoadKv(&db, "A", 10, 2);
+  LoadKv(&db, "B", 10, 2);
+  auto t = db.Execute("SELECT A.V FROM A, B WHERE A.K = B.K AND 1 = 1");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto f = db.Execute("SELECT A.V FROM A, B WHERE A.K = B.K AND 1 = 2");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_GT(t.ValueOrDie().rows.size(), 0u);
+  EXPECT_EQ(f.ValueOrDie().rows.size(), 0u);
+}
+
+TEST(PlannerTest, EmptyTablesFlowThroughEveryOperator) {
+  Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE E (K INT, V INT, T INT)").ok());
+  LoadKv(&db, "R", 20, 4);
+  EXPECT_EQ(db.Execute("SELECT K FROM E").ValueOrDie().rows.size(), 0u);
+  EXPECT_EQ(db.Execute("SELECT E.K FROM E, R WHERE E.K = R.K")
+                .ValueOrDie()
+                .rows.size(),
+            0u);
+  EXPECT_EQ(db.Execute("SELECT K, COUNT(*) AS C FROM E GROUP BY K")
+                .ValueOrDie()
+                .rows.size(),
+            0u);
+  EXPECT_EQ(db.Execute("SELECT DISTINCT K FROM E").ValueOrDie().rows.size(),
+            0u);
+  EXPECT_EQ(db.Execute("SELECT K FROM E UNION SELECT K FROM E")
+                .ValueOrDie()
+                .rows.size(),
+            0u);
+  EXPECT_EQ(db.Execute("SELECT K FROM E ORDER BY K").ValueOrDie().rows.size(),
+            0u);
+}
+
+TEST(PlannerTest, UnionMixedDistinctAndAll) {
+  Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE U (X INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO U VALUES (1), (1), (2)").ok());
+  // Mixed chain: any non-ALL link dedups the whole chain (documented
+  // simplification; our generated SQL never mixes them).
+  auto r = db.Execute(
+      "SELECT X FROM U UNION ALL SELECT X FROM U UNION SELECT X FROM U");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 2u);
+}
+
+TEST(PlannerTest, GreatestLeastInProjections) {
+  Engine db;
+  LoadKv(&db, "R", 10, 3);
+  auto r = db.Execute(
+      "SELECT GREATEST(K, 1) AS G, LEAST(V, 5) AS L FROM R ORDER BY V");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r.ValueOrDie().rows[0][0].AsInt(), 1);
+  EXPECT_LE(r.ValueOrDie().rows[9][1].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace dbms
+}  // namespace tango

@@ -1,0 +1,222 @@
+// Property tests on the middleware execution algorithms' invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "exec/basic.h"
+#include "exec/join.h"
+#include "exec/sort.h"
+#include "exec/taggr.h"
+
+namespace tango {
+namespace exec {
+namespace {
+
+Schema KeyedSchema() {
+  return Schema({{"", "K", DataType::kInt},
+                 {"", "T1", DataType::kInt},
+                 {"", "T2", DataType::kInt}});
+}
+
+std::vector<Tuple> RandomPeriods(uint64_t seed, size_t n, int64_t keys,
+                                 int64_t horizon) {
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t t1 = rng.Uniform(0, horizon);
+    rows.push_back(
+        {Value(rng.Uniform(0, keys - 1)), Value(t1),
+         Value(t1 + rng.Uniform(1, horizon / 3))});
+  }
+  return rows;
+}
+
+std::vector<Tuple> SortedForCoalesce(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    if (int c = a[0].Compare(b[0]); c != 0) return c < 0;
+    return a[1] < b[1];
+  });
+  return rows;
+}
+
+std::vector<Tuple> RunCoalesce(const std::vector<Tuple>& rows) {
+  CoalesceCursor c(std::make_unique<VectorCursor>(KeyedSchema(), rows), 1, 2);
+  return MaterializeAll(&c).ValueOrDie();
+}
+
+class CoalescePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoalescePropertyTest, IdempotentAndSnapshotPreserving) {
+  const auto input = SortedForCoalesce(RandomPeriods(GetParam(), 200, 5, 60));
+  const auto once = RunCoalesce(input);
+  const auto twice = RunCoalesce(once);
+
+  // Idempotence: coal(coal(x)) == coal(x).
+  ASSERT_EQ(twice.size(), once.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    for (size_t c = 0; c < once[i].size(); ++c) {
+      EXPECT_EQ(twice[i][c].Compare(once[i][c]), 0) << i;
+    }
+  }
+
+  // Snapshot preservation: the set of (key, day) memberships is unchanged.
+  auto snapshot = [](const std::vector<Tuple>& rows) {
+    std::set<std::pair<int64_t, int64_t>> days;
+    for (const Tuple& t : rows) {
+      for (int64_t d = t[1].AsInt(); d < t[2].AsInt(); ++d) {
+        days.insert({t[0].AsInt(), d});
+      }
+    }
+    return days;
+  };
+  EXPECT_EQ(snapshot(input), snapshot(once));
+
+  // Maximality: within a key, consecutive coalesced periods have gaps.
+  for (size_t i = 1; i < once.size(); ++i) {
+    if (once[i][0].Compare(once[i - 1][0]) == 0) {
+      EXPECT_GT(once[i][1].AsInt(), once[i - 1][2].AsInt())
+          << "period " << i << " should have been merged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescePropertyTest,
+                         ::testing::Values(4, 9, 16, 25, 36));
+
+class SortBudgetPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SortBudgetPropertyTest, AnyBudgetMatchesStdSort) {
+  auto rows = RandomPeriods(123, 3000, 50, 500);
+  auto expected = rows;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     if (int c = a[0].Compare(b[0]); c != 0) return c < 0;
+                     return a[1] < b[1];
+                   });
+  SortCursor sort(std::make_unique<VectorCursor>(KeyedSchema(), rows),
+                  {{0, true}, {1, true}}, GetParam());
+  auto got = MaterializeAll(&sort).ValueOrDie();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i][0].AsInt(), expected[i][0].AsInt()) << i;
+    EXPECT_EQ(got[i][1].AsInt(), expected[i][1].AsInt()) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SortBudgetPropertyTest,
+                         ::testing::Values(1 << 12, 1 << 15, 1 << 19,
+                                           64 << 20));
+
+TEST(TemporalJoinPropertyTest, CommutesUpToColumnOrder) {
+  const auto a = SortedForCoalesce(RandomPeriods(77, 150, 6, 80));
+  const auto b = SortedForCoalesce(RandomPeriods(88, 120, 6, 80));
+  Schema out_ab({{"", "K", DataType::kInt},
+                 {"", "T1", DataType::kInt},
+                 {"", "T2", DataType::kInt}});
+  auto run = [&](const std::vector<Tuple>& l, const std::vector<Tuple>& r) {
+    TemporalJoinCursor j(std::make_unique<VectorCursor>(KeyedSchema(), l),
+                         std::make_unique<VectorCursor>(KeyedSchema(), r),
+                         {0}, {0}, 1, 2, 1, 2, /*left_out=*/{0},
+                         /*right_out=*/{}, out_ab);
+    return MaterializeAll(&j).ValueOrDie();
+  };
+  auto ab = run(a, b);
+  auto ba = run(b, a);
+  // Same multiset of (key, intersected period) rows.
+  auto canon = [](const std::vector<Tuple>& rows) {
+    std::multiset<std::string> out;
+    for (const Tuple& t : rows) {
+      out.insert(t[0].ToString() + "/" + t[1].ToString() + "/" +
+                 t[2].ToString());
+    }
+    return out;
+  };
+  EXPECT_FALSE(ab.empty());
+  EXPECT_EQ(canon(ab), canon(ba));
+}
+
+TEST(TAggrPropertyTest, CountMatchesSumOfStarWeights) {
+  // COUNT(K) with no NULLs equals COUNT(*) everywhere; MIN <= AVG <= MAX.
+  auto rows = SortedForCoalesce(RandomPeriods(55, 300, 4, 100));
+  Schema out({{"", "K", DataType::kInt},
+              {"", "T1", DataType::kInt},
+              {"", "T2", DataType::kInt},
+              {"", "C1", DataType::kInt},
+              {"", "C2", DataType::kInt},
+              {"", "MN", DataType::kInt},
+              {"", "AV", DataType::kDouble},
+              {"", "MX", DataType::kInt}});
+  TemporalAggregationCursor agg(
+      std::make_unique<VectorCursor>(KeyedSchema(), rows), {0}, 1, 2,
+      {{AggFunc::kCount, 0, false},
+       {AggFunc::kCount, 0, true},
+       {AggFunc::kMin, 1, false},
+       {AggFunc::kAvg, 1, false},
+       {AggFunc::kMax, 1, false}},
+      out);
+  auto got = MaterializeAll(&agg).ValueOrDie();
+  ASSERT_FALSE(got.empty());
+  for (const Tuple& t : got) {
+    EXPECT_EQ(t[3].AsInt(), t[4].AsInt());
+    EXPECT_LE(t[5].AsDouble(), t[6].AsDouble() + 1e-9);
+    EXPECT_LE(t[6].AsDouble(), t[7].AsDouble() + 1e-9);
+  }
+}
+
+TEST(DifferencePropertyTest, SelfDifferenceIsEmptyAndEmptyIsIdentity) {
+  auto rows = SortedForCoalesce(RandomPeriods(66, 100, 4, 60));
+  auto sorted_all = rows;
+  std::sort(sorted_all.begin(), sorted_all.end(),
+            [](const Tuple& a, const Tuple& b) {
+              for (size_t i = 0; i < a.size(); ++i) {
+                if (int c = a[i].Compare(b[i]); c != 0) return c < 0;
+              }
+              return false;
+            });
+  {
+    DifferenceCursor d(
+        std::make_unique<VectorCursor>(KeyedSchema(), sorted_all),
+        std::make_unique<VectorCursor>(KeyedSchema(), sorted_all));
+    EXPECT_TRUE(MaterializeAll(&d).ValueOrDie().empty());
+  }
+  {
+    DifferenceCursor d(
+        std::make_unique<VectorCursor>(KeyedSchema(), sorted_all),
+        std::make_unique<VectorCursor>(KeyedSchema(), std::vector<Tuple>{}));
+    EXPECT_EQ(MaterializeAll(&d).ValueOrDie().size(), sorted_all.size());
+  }
+}
+
+TEST(CursorReinitTest, AlgorithmsAreReExecutable) {
+  // Figure 2's engine calls init() once, but re-execution must be safe —
+  // a prepared plan can be run twice.
+  auto rows = SortedForCoalesce(RandomPeriods(44, 120, 4, 60));
+  Schema out({{"", "K", DataType::kInt},
+              {"", "T1", DataType::kInt},
+              {"", "T2", DataType::kInt},
+              {"", "C", DataType::kInt}});
+  TemporalAggregationCursor agg(
+      std::make_unique<VectorCursor>(KeyedSchema(), rows), {0}, 1, 2,
+      {{AggFunc::kCount, 0, true}}, out);
+  const auto first = MaterializeAll(&agg).ValueOrDie();
+  const auto second = MaterializeAll(&agg).ValueOrDie();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    for (size_t c = 0; c < first[i].size(); ++c) {
+      EXPECT_EQ(first[i][c].Compare(second[i][c]), 0);
+    }
+  }
+
+  SortCursor sort(std::make_unique<VectorCursor>(KeyedSchema(), rows),
+                  {{1, true}}, /*memory_budget_bytes=*/2048);
+  const auto s1 = MaterializeAll(&sort).ValueOrDie();
+  const auto s2 = MaterializeAll(&sort).ValueOrDie();
+  EXPECT_EQ(s1.size(), s2.size());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace tango

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include "tango/middleware.h"
+
+namespace tango {
+namespace {
+
+// The running example: POSITION of Figure 3(a).
+void LoadFigure3(dbms::Engine* db) {
+  ASSERT_TRUE(db->Execute("CREATE TABLE POSITION (PosID INT, EmpName "
+                          "VARCHAR(20), T1 INT, T2 INT)")
+                  .ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO POSITION VALUES "
+                          "(1, 'Tom', 2, 20), (1, 'Jane', 5, 25), "
+                          "(2, 'Tom', 5, 10)")
+                  .ok());
+  ASSERT_TRUE(db->Execute("ANALYZE").ok());
+}
+
+Middleware::Config TestConfig() {
+  Middleware::Config config;
+  config.wire.simulate_delay = false;
+  return config;
+}
+
+TEST(MiddlewareTest, Query1AggregationMatchesFigure3c) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID, T1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& rows = result.ValueOrDie().rows;
+  ASSERT_EQ(rows.size(), 4u);
+  const int64_t expected[4][4] = {
+      {1, 2, 5, 1}, {1, 5, 20, 2}, {1, 20, 25, 1}, {2, 5, 10, 1}};
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(rows[i][c].AsInt(), expected[i][c]) << i << "," << c;
+    }
+  }
+}
+
+TEST(MiddlewareTest, RunningExampleMatchesFigure3b) {
+  // Section 2.2: temporal aggregation joined back to POSITION, sorted by
+  // position — the result of Figure 3(b).
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT C.PosID, EmpName, T1, T2, CountOfPosID "
+      "FROM (TEMPORAL SELECT PosID, COUNT(PosID) AS CountOfPosID "
+      "      FROM POSITION GROUP BY PosID OVER TIME) C, POSITION P "
+      "WHERE C.PosID = P.PosID "
+      "ORDER BY PosID, T1, EmpName DESC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& rows = result.ValueOrDie().rows;
+  // Figure 3(b): 5 rows.
+  ASSERT_EQ(rows.size(), 5u);
+  // (1, Tom, 2, 5, 1), (1, Tom, 5, 20, 2), (1, Jane, 5, 20, 2),
+  // (1, Jane, 20, 25, 1), (2, Tom, 5, 10, 1).
+  struct Row {
+    int64_t pos;
+    const char* name;
+    int64_t t1, t2, cnt;
+  };
+  const Row expected[5] = {{1, "Tom", 2, 5, 1},
+                           {1, "Tom", 5, 20, 2},
+                           {1, "Jane", 5, 20, 2},
+                           {1, "Jane", 20, 25, 1},
+                           {2, "Tom", 5, 10, 1}};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[i][0].AsInt(), expected[i].pos) << i;
+    EXPECT_EQ(rows[i][1].AsString(), expected[i].name) << i;
+    EXPECT_EQ(rows[i][2].AsInt(), expected[i].t1) << i;
+    EXPECT_EQ(rows[i][3].AsInt(), expected[i].t2) << i;
+    EXPECT_EQ(rows[i][4].AsInt(), expected[i].cnt) << i;
+  }
+}
+
+TEST(MiddlewareTest, TemporaryTablesAreDropped) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT C.PosID, EmpName, T1, T2, CNT "
+      "FROM (TEMPORAL SELECT PosID, COUNT(PosID) AS CNT "
+      "      FROM POSITION GROUP BY PosID OVER TIME) C, POSITION P "
+      "WHERE C.PosID = P.PosID ORDER BY PosID");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const std::string& t : db.catalog().TableNames()) {
+    EXPECT_EQ(t.find("TANGO_TMP"), std::string::npos) << t;
+  }
+}
+
+TEST(MiddlewareTest, PlanAgreementAcrossForcedShapes) {
+  // All-DBMS (exploration off still yields a correct plan) vs optimized:
+  // identical results.
+  dbms::Engine db;
+  LoadFigure3(&db);
+  const char* q =
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID, T1";
+
+  Middleware optimized(&db, TestConfig());
+  auto a = optimized.Query(q);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  // Force the all-DBMS shape by making middleware algorithms prohibitive.
+  Middleware dbms_only(&db, TestConfig());
+  dbms_only.cost_model().factors().taggm1 = 1e9;
+  dbms_only.cost_model().factors().taggm2 = 1e9;
+  dbms_only.cost_model().factors().sortm = 1e9;
+  auto prepared = dbms_only.Prepare(q);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  // The chosen plan must now use TAGGR^D (everything in the DBMS).
+  std::function<bool(const optimizer::PhysPlanPtr&)> has_taggrd =
+      [&](const optimizer::PhysPlanPtr& p) {
+        if (p->algorithm == optimizer::Algorithm::kTAggrD) return true;
+        for (const auto& c : p->children) {
+          if (has_taggrd(c)) return true;
+        }
+        return false;
+      };
+  ASSERT_TRUE(has_taggrd(prepared.ValueOrDie().plan))
+      << prepared.ValueOrDie().plan->ToString();
+  auto b = dbms_only.Execute(prepared.ValueOrDie().plan);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ASSERT_EQ(a.ValueOrDie().rows.size(), b.ValueOrDie().rows.size());
+  for (size_t i = 0; i < a.ValueOrDie().rows.size(); ++i) {
+    for (size_t c = 0; c < a.ValueOrDie().rows[i].size(); ++c) {
+      EXPECT_EQ(a.ValueOrDie().rows[i][c].Compare(b.ValueOrDie().rows[i][c]),
+                0)
+          << i << "," << c;
+    }
+  }
+}
+
+TEST(MiddlewareTest, RegularJoinQuery) {
+  // Query 4 shape: a regular join, no temporal semantics.
+  dbms::Engine db;
+  LoadFigure3(&db);
+  ASSERT_TRUE(db.Execute("CREATE TABLE EMPLOYEE (EmpName VARCHAR(20), "
+                         "Addr VARCHAR(30))")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO EMPLOYEE VALUES "
+                         "('Tom', '12 Elm St'), ('Jane', '9 Oak Ave')")
+                  .ok());
+  ASSERT_TRUE(db.Execute("ANALYZE").ok());
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "SELECT PosID, P.EmpName, Addr FROM POSITION P, EMPLOYEE E "
+      "WHERE P.EmpName = E.EmpName ORDER BY PosID, Addr");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.ValueOrDie().rows.size(), 3u);
+  EXPECT_EQ(result.ValueOrDie().rows[0][2].AsString(), "12 Elm St");
+}
+
+TEST(MiddlewareTest, TimeWindowQueryPushesSelection) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "WHERE OVERLAPS PERIOD (4, 6) "
+      "GROUP BY PosID OVER TIME ORDER BY PosID, T1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Tuples overlapping [4,6): all three. Constant periods as in Fig 3(c).
+  // The WHERE applies *before* aggregation (SQL semantics), so the result
+  // equals Figure 3(c) computed over all three tuples.
+  ASSERT_EQ(result.ValueOrDie().rows.size(), 4u);
+}
+
+TEST(MiddlewareTest, StatisticsCollectorFetchesOverWire) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  ASSERT_TRUE(mw.CollectStatistics({"POSITION"}).ok());
+  auto stats = mw.TableStatistics("POSITION");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats.ValueOrDie().cardinality, 3);
+  EXPECT_FALSE(mw.TableStatistics("MISSING").ok());
+}
+
+TEST(MiddlewareTest, HistogramStrippingConfig) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware::Config config = TestConfig();
+  config.use_histograms = false;
+  Middleware mw(&db, config);
+  ASSERT_TRUE(mw.CollectStatistics({"POSITION"}).ok());
+  auto stats = mw.TableStatistics("POSITION");
+  ASSERT_TRUE(stats.ok());
+  for (const auto& c : stats.ValueOrDie().columns) {
+    EXPECT_TRUE(c.histogram.empty());
+  }
+}
+
+TEST(MiddlewareTest, FeedbackAdjustsCostFactors) {
+  dbms::Engine db;
+  // Enough data for measurable per-algorithm times.
+  ASSERT_TRUE(db.Execute("CREATE TABLE POSITION (PosID INT, EmpName "
+                         "VARCHAR(20), T1 INT, T2 INT)")
+                  .ok());
+  std::string values;
+  for (int i = 0; i < 3000; ++i) {
+    if (i > 0) values += ", ";
+    values += "(" + std::to_string(i % 300) + ", 'emp" + std::to_string(i) +
+              "', " + std::to_string(i % 97) + ", " +
+              std::to_string(i % 97 + 10) + ")";
+  }
+  ASSERT_TRUE(db.Execute("INSERT INTO POSITION VALUES " + values).ok());
+  ASSERT_TRUE(db.Execute("ANALYZE").ok());
+
+  Middleware::Config config = TestConfig();
+  config.adapt = true;
+  config.feedback_alpha = 0.5;
+  Middleware mw(&db, config);
+  const cost::CostFactors before = mw.cost_model().factors();
+  auto result = mw.Query(
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID, T1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // With the wire simulation off, observed times diverge from the default
+  // factors' predictions: adaptation must move the factors of algorithms
+  // that ran (TAGGR^M and the SORT^D inside the transferred fragment).
+  const cost::CostFactors& after = mw.cost_model().factors();
+  EXPECT_TRUE(after.taggm1 != before.taggm1 || after.taggm2 != before.taggm2 ||
+              after.sortd != before.sortd || after.tm != before.tm);
+
+  // And with adaptation disabled the factors stay put.
+  Middleware::Config frozen = TestConfig();
+  frozen.adapt = false;
+  Middleware mw2(&db, frozen);
+  const cost::CostFactors before2 = mw2.cost_model().factors();
+  ASSERT_TRUE(mw2.Query("TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT "
+                        "FROM POSITION GROUP BY PosID OVER TIME "
+                        "ORDER BY PosID, T1")
+                  .ok());
+  EXPECT_EQ(mw2.cost_model().factors().tm, before2.tm);
+  EXPECT_EQ(mw2.cost_model().factors().sortd, before2.sortd);
+  EXPECT_EQ(mw2.cost_model().factors().taggm1, before2.taggm1);
+}
+
+TEST(MiddlewareTest, ExecutionReportsTimingsAndSql) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID, T1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.ValueOrDie().timings.empty());
+  EXPECT_FALSE(result.ValueOrDie().sql_statements.empty());
+  EXPECT_GT(result.ValueOrDie().elapsed_seconds, 0);
+}
+
+TEST(MiddlewareTest, ParseErrorsSurface) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  EXPECT_FALSE(mw.Query("TEMPORAL SELECT FROM").ok());
+  EXPECT_FALSE(mw.Query("TEMPORAL SELECT X FROM NO_SUCH_TABLE").ok());
+  EXPECT_FALSE(
+      mw.Query("TEMPORAL SELECT PosID FROM POSITION GROUP BY PosID").ok());
+}
+
+TEST(MiddlewareTest, CoalesceMergesValueEquivalentPeriods) {
+  dbms::Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE POSITION (PosID INT, EmpName "
+                         "VARCHAR(20), T1 INT, T2 INT)")
+                  .ok());
+  // Tom holds position 1 in two adjacent stints and one overlapping one;
+  // coalesced, they form a single period [2, 30).
+  ASSERT_TRUE(db.Execute("INSERT INTO POSITION VALUES "
+                         "(1, 'Tom', 2, 10), (1, 'Tom', 10, 20), "
+                         "(1, 'Tom', 15, 30), (1, 'Jane', 40, 50), "
+                         "(2, 'Tom', 5, 10)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("ANALYZE").ok());
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT COALESCE PosID, EmpName FROM POSITION "
+      "ORDER BY PosID, EmpName");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& rows = result.ValueOrDie().rows;
+  ASSERT_EQ(rows.size(), 3u);
+  // (1, Jane, 40, 50), (1, Tom, 2, 30), (2, Tom, 5, 10).
+  EXPECT_EQ(rows[0][1].AsString(), "Jane");
+  EXPECT_EQ(rows[1][2].AsInt(), 2);
+  EXPECT_EQ(rows[1][3].AsInt(), 30);
+  EXPECT_EQ(rows[2][0].AsInt(), 2);
+}
+
+TEST(MiddlewareTest, DistinctRemovesDuplicates) {
+  dbms::Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE POSITION (PosID INT, EmpName "
+                         "VARCHAR(20), T1 INT, T2 INT)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO POSITION VALUES "
+                         "(1, 'Tom', 2, 10), (1, 'Tom', 2, 10), "
+                         "(2, 'Tom', 2, 10)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("ANALYZE").ok());
+  Middleware mw(&db, TestConfig());
+  auto result = mw.Query(
+      "TEMPORAL SELECT DISTINCT PosID, EmpName FROM POSITION ORDER BY PosID");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().rows.size(), 2u);
+}
+
+TEST(MiddlewareTest, SharedTransfersIssueOneStatement) {
+  // §7 refinement: a temporal self-join whose two arguments are the same
+  // DBMS fragment must transfer it once (and still be correct).
+  dbms::Engine db;
+  LoadFigure3(&db);
+  const char* q =
+      "TEMPORAL SELECT A.PosID, A.EmpName, B.EmpName "
+      "FROM POSITION A, POSITION B "
+      "WHERE A.PosID = B.PosID AND A.EmpName < B.EmpName ORDER BY PosID";
+
+  auto run = [&](bool share) {
+    Middleware::Config config = TestConfig();
+    config.share_common_transfers = share;
+    // Force the temporal join into the middleware so both arguments are
+    // TRANSFER^M fragments.
+    Middleware mw(&db, config);
+    mw.cost_model().factors().joind = 1e9;
+    mw.cost_model().factors().joindout = 1e9;
+    mw.connection().ResetCounters();
+    auto r = mw.Query(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::make_pair(r.ValueOrDie().rows.size(),
+                          mw.connection().counters().bytes_to_client);
+  };
+
+  const auto [rows_shared, bytes_shared] = run(true);
+  const auto [rows_plain, bytes_plain] = run(false);
+  EXPECT_EQ(rows_shared, rows_plain);
+  EXPECT_EQ(rows_shared, 1u);  // Figure 3: only Jane+Tom share position 1
+  // Both arguments render to the same SQL, so sharing halves the wire
+  // volume (strictly: result transfer aside, one argument transfer saved).
+  EXPECT_LT(bytes_shared, bytes_plain);
+  EXPECT_NEAR(static_cast<double>(bytes_shared),
+              static_cast<double>(bytes_plain) / 2, bytes_plain * 0.2);
+}
+
+TEST(MiddlewareTest, ExceptComputesMultisetDifference) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  // Everyone's assignments, minus Tom's: leaves Jane's single tuple.
+  auto result = mw.Query(
+      "TEMPORAL SELECT PosID, EmpName FROM POSITION "
+      "EXCEPT TEMPORAL SELECT PosID, EmpName FROM POSITION "
+      "WHERE EmpName = 'Tom'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.ValueOrDie().rows.size(), 1u);
+  EXPECT_EQ(result.ValueOrDie().rows[0][1].AsString(), "Jane");
+
+  // Multiset semantics: subtracting one copy keeps the other.
+  ASSERT_TRUE(db.Execute("CREATE TABLE D (X INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO D VALUES (1), (1), (2)").ok());
+  ASSERT_TRUE(db.Execute("ANALYZE D").ok());
+  auto ms = mw.Query("SELECT X FROM D EXCEPT SELECT X FROM D WHERE X = 2");
+  ASSERT_TRUE(ms.ok()) << ms.status().ToString();
+  EXPECT_EQ(ms.ValueOrDie().rows.size(), 2u);  // both 1s survive
+
+  // Incompatible arms are rejected.
+  EXPECT_FALSE(mw.Query("TEMPORAL SELECT PosID, EmpName FROM POSITION "
+                        "EXCEPT SELECT X FROM D")
+                   .ok());
+}
+
+TEST(MiddlewareTest, ExplainShowsPlanAndSqlWithoutExecuting) {
+  dbms::Engine db;
+  LoadFigure3(&db);
+  Middleware mw(&db, TestConfig());
+  auto prepared = mw.Prepare(
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const uint64_t before = db.statements_executed();
+  auto explanation = mw.Explain(prepared.ValueOrDie());
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_NE(explanation.ValueOrDie().find("chosen physical plan"),
+            std::string::npos);
+  EXPECT_NE(explanation.ValueOrDie().find("SELECT"), std::string::npos);
+  // Explaining runs nothing against the DBMS.
+  EXPECT_EQ(db.statements_executed(), before);
+}
+
+TEST(MiddlewareTest, SpillingSortProducesCorrectResults) {
+  // A tiny middleware sort budget forces SORT^M to spill runs; the query
+  // result must match the in-memory configuration exactly.
+  dbms::Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE R (G INT, V INT, T1 INT, T2 INT)")
+                  .ok());
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({Value(static_cast<int64_t>(i % 37)),
+                    Value(static_cast<int64_t>((i * 7919) % 1000)),
+                    Value(static_cast<int64_t>(i % 97)),
+                    Value(static_cast<int64_t>(i % 97 + 5))});
+  }
+  ASSERT_TRUE(db.BulkLoad("R", rows).ok());
+  ASSERT_TRUE(db.Execute("ANALYZE R").ok());
+
+  const char* q =
+      "TEMPORAL SELECT G, T1, T2, COUNT(G) AS C FROM R "
+      "GROUP BY G OVER TIME ORDER BY G, T1";
+  auto run = [&](size_t budget) {
+    Middleware::Config config = TestConfig();
+    config.sort_memory_budget_bytes = budget;
+    // Force the sort into the middleware so the budget matters.
+    Middleware mw(&db, config);
+    mw.cost_model().factors().sortd = 1e9;
+    mw.cost_model().factors().taggd1 = 1e9;
+    auto r = mw.Query(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ValueOrDie().rows;
+  };
+  const auto spilled = run(/*budget=*/8 * 1024);
+  const auto in_memory = run(/*budget=*/64 << 20);
+  ASSERT_EQ(spilled.size(), in_memory.size());
+  for (size_t i = 0; i < spilled.size(); ++i) {
+    for (size_t c = 0; c < spilled[i].size(); ++c) {
+      EXPECT_EQ(spilled[i][c].Compare(in_memory[i][c]), 0) << i << "," << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "optimizer/phys.h"
+
+namespace tango {
+namespace optimizer {
+namespace {
+
+TEST(PhysTest, AlgorithmNamesMatchThePapersNotation) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTransferM), "TRANSFER^M");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTransferD), "TRANSFER^D");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTAggrM), "TAGGR^M");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTAggrD), "TAGGR^D");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kFilterM), "FILTER^M");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kSortD), "SORT^D");
+}
+
+TEST(PhysTest, SiteClassification) {
+  // Every ^D algorithm is DBMS-side; every ^M algorithm and the transfers
+  // are executed by the middleware's engine.
+  for (Algorithm alg : {Algorithm::kScanD, Algorithm::kSelectD,
+                        Algorithm::kProjectD, Algorithm::kSortD,
+                        Algorithm::kJoinD, Algorithm::kTJoinD,
+                        Algorithm::kTAggrD, Algorithm::kDistinctD,
+                        Algorithm::kProductD}) {
+    EXPECT_TRUE(IsDbmsAlgorithm(alg)) << AlgorithmName(alg);
+  }
+  for (Algorithm alg : {Algorithm::kFilterM, Algorithm::kProjectM,
+                        Algorithm::kSortM, Algorithm::kMergeJoinM,
+                        Algorithm::kTJoinM, Algorithm::kTAggrM,
+                        Algorithm::kDupElimM, Algorithm::kCoalesceM,
+                        Algorithm::kDiffM, Algorithm::kTransferM,
+                        Algorithm::kTransferD}) {
+    EXPECT_FALSE(IsDbmsAlgorithm(alg)) << AlgorithmName(alg);
+  }
+}
+
+TEST(PhysTest, PropsKeyDistinguishesSiteAndOrder) {
+  PhysProps a{Site::kDbms, {}};
+  PhysProps b{Site::kMiddleware, {}};
+  PhysProps c{Site::kMiddleware, {{"POSID", true}}};
+  PhysProps d{Site::kMiddleware, {{"POSID", false}}};
+  PhysProps e{Site::kMiddleware, {{"POSID", true}, {"T1", true}}};
+  std::set<std::string> keys = {a.Key(), b.Key(), c.Key(), d.Key(), e.Key()};
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+TEST(PhysTest, SiteNames) {
+  EXPECT_STREQ(SiteName(Site::kDbms), "DBMS");
+  EXPECT_STREQ(SiteName(Site::kMiddleware), "MW");
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace tango

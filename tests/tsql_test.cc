@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "tsql/tsql.h"
+
+namespace tango {
+namespace tsql {
+namespace {
+
+Parser::SchemaProvider Provider() {
+  return [](const std::string& table) -> Result<Schema> {
+    if (table == "POSITION") {
+      return Schema({{"", "POSID", DataType::kInt},
+                     {"", "EMPNAME", DataType::kString},
+                     {"", "PAYRATE", DataType::kDouble},
+                     {"", "T1", DataType::kInt},
+                     {"", "T2", DataType::kInt}});
+    }
+    if (table == "EMPLOYEE") {
+      return Schema({{"", "EMPID", DataType::kInt},
+                     {"", "EMPNAME", DataType::kString},
+                     {"", "ADDR", DataType::kString}});
+    }
+    return Status::NotFound("table " + table);
+  };
+}
+
+/// Finds the first node of `kind` in the plan tree (pre-order).
+const algebra::Op* Find(const algebra::OpPtr& plan, algebra::OpKind kind) {
+  if (plan->kind == kind) return plan.get();
+  for (const auto& c : plan->children) {
+    if (const algebra::Op* hit = Find(c, kind)) return hit;
+  }
+  return nullptr;
+}
+
+TEST(TsqlTest, InitialPlanHasTransferMOnTop) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME ORDER BY PosID",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Figure 4(a): all processing in the DBMS, T^M at the top.
+  EXPECT_EQ(plan.ValueOrDie()->kind, algebra::OpKind::kTransferM);
+  EXPECT_NE(Find(plan.ValueOrDie(), algebra::OpKind::kTAggregate), nullptr);
+  EXPECT_NE(Find(plan.ValueOrDie(), algebra::OpKind::kSort), nullptr);
+}
+
+TEST(TsqlTest, GroupByWithoutOverTimeIsRejected) {
+  EXPECT_FALSE(Parser::Parse("TEMPORAL SELECT PosID, COUNT(PosID) AS C "
+                             "FROM POSITION GROUP BY PosID",
+                             Provider())
+                   .ok());
+}
+
+TEST(TsqlTest, TemporalPrefixMakesJoinsTemporal) {
+  auto temporal = Parser::Parse(
+      "TEMPORAL SELECT A.PosID, A.EmpName, B.EmpName FROM POSITION A, "
+      "POSITION B WHERE A.PosID = B.PosID",
+      Provider());
+  ASSERT_TRUE(temporal.ok()) << temporal.status().ToString();
+  EXPECT_NE(Find(temporal.ValueOrDie(), algebra::OpKind::kTJoin), nullptr);
+  EXPECT_EQ(Find(temporal.ValueOrDie(), algebra::OpKind::kJoin), nullptr);
+
+  // EMPLOYEE has no period: the join of POSITION and EMPLOYEE is regular
+  // even under TEMPORAL.
+  auto mixed = Parser::Parse(
+      "TEMPORAL SELECT PosID, E.Addr FROM POSITION P, EMPLOYEE E "
+      "WHERE P.EmpName = E.EmpName",
+      Provider());
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  EXPECT_NE(Find(mixed.ValueOrDie(), algebra::OpKind::kJoin), nullptr);
+
+  // Without TEMPORAL: regular join.
+  auto plain = Parser::Parse(
+      "SELECT A.PosID FROM POSITION A, POSITION B WHERE A.PosID = B.PosID",
+      Provider());
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_NE(Find(plain.ValueOrDie(), algebra::OpKind::kJoin), nullptr);
+}
+
+TEST(TsqlTest, OverlapsPeriodDesugarsToWindowConjuncts) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT PosID FROM POSITION "
+      "WHERE OVERLAPS PERIOD (DATE '1995-01-01', DATE '1998-01-01')",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const algebra::Op* sel = Find(plan.ValueOrDie(), algebra::OpKind::kSelect);
+  ASSERT_NE(sel, nullptr);
+  const std::string pred = sel->predicate->ToString();
+  EXPECT_NE(pred.find("T1 < " + std::to_string(date::Jan1(1998))),
+            std::string::npos)
+      << pred;
+  EXPECT_NE(pred.find("T2 > " + std::to_string(date::Jan1(1995))),
+            std::string::npos)
+      << pred;
+}
+
+TEST(TsqlTest, ContainsDesugarsToTimeslice) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT PosID FROM POSITION WHERE CONTAINS (DATE '1996-06-01')",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const algebra::Op* sel = Find(plan.ValueOrDie(), algebra::OpKind::kSelect);
+  ASSERT_NE(sel, nullptr);
+  const std::string pred = sel->predicate->ToString();
+  EXPECT_NE(pred.find("T1 <="), std::string::npos) << pred;
+  EXPECT_NE(pred.find("T2 >"), std::string::npos) << pred;
+}
+
+TEST(TsqlTest, PerRelationPredicatesArePushedBelowTemporalJoins) {
+  // A.T1 < c must apply to A's own period, not the join's intersection.
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT A.PosID, A.EmpName, B.EmpName "
+      "FROM POSITION A, POSITION B "
+      "WHERE A.PosID = B.PosID AND A.T1 < 9000 AND B.T1 < 9000",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const algebra::Op* tjoin = Find(plan.ValueOrDie(), algebra::OpKind::kTJoin);
+  ASSERT_NE(tjoin, nullptr);
+  EXPECT_EQ(tjoin->children[0]->kind, algebra::OpKind::kSelect);
+  EXPECT_EQ(tjoin->children[1]->kind, algebra::OpKind::kSelect);
+}
+
+TEST(TsqlTest, TemporalResultKeepsImplicitPeriod) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT PosID, COUNT(PosID) AS CNT FROM POSITION "
+      "GROUP BY PosID OVER TIME",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const Schema& schema = plan.ValueOrDie()->schema;
+  EXPECT_TRUE(schema.Contains("T1"));
+  EXPECT_TRUE(schema.Contains("T2"));
+}
+
+TEST(TsqlTest, DefaultAggregateNameMatchesPaperStyle) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT PosID, COUNT(PosID) FROM POSITION "
+      "GROUP BY PosID OVER TIME",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // COUNT(PosID) without an alias -> COUNTOFPOSID, the paper's naming.
+  EXPECT_TRUE(plan.ValueOrDie()->schema.Contains("COUNTOFPOSID"))
+      << plan.ValueOrDie()->schema.ToString();
+}
+
+TEST(TsqlTest, SubqueryQualifiersResolve) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT C.PosID, C.CNT FROM "
+      "(TEMPORAL SELECT PosID, COUNT(PosID) AS CNT FROM POSITION "
+      " GROUP BY PosID OVER TIME) C "
+      "WHERE C.CNT > 1 ORDER BY C.PosID",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST(TsqlTest, ErrorsSurface) {
+  EXPECT_FALSE(Parser::Parse("TEMPORAL SELECT", Provider()).ok());
+  EXPECT_FALSE(Parser::Parse("TEMPORAL SELECT X FROM NOPE", Provider()).ok());
+  EXPECT_FALSE(Parser::Parse(
+                   "TEMPORAL SELECT Nope FROM POSITION", Provider())
+                   .ok());
+  EXPECT_FALSE(Parser::Parse(
+                   "TEMPORAL SELECT PosID FROM POSITION trailing garbage !",
+                   Provider())
+                   .ok());
+  // Aggregate without GROUP BY ... OVER TIME.
+  EXPECT_FALSE(
+      Parser::Parse("TEMPORAL SELECT COUNT(PosID) FROM POSITION", Provider())
+          .ok());
+}
+
+TEST(TsqlTest, MultipleAggregates) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT PosID, COUNT(PosID) AS C, MAX(PayRate) AS MX, "
+      "AVG(PayRate) AS AV FROM POSITION GROUP BY PosID OVER TIME",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const algebra::Op* agg =
+      Find(plan.ValueOrDie(), algebra::OpKind::kTAggregate);
+  ASSERT_NE(agg, nullptr);
+  ASSERT_EQ(agg->aggs.size(), 3u);
+  EXPECT_EQ(agg->aggs[1].func, AggFunc::kMax);
+  EXPECT_EQ(agg->aggs[2].func, AggFunc::kAvg);
+}
+
+TEST(TsqlTest, DistinctAddsDupElim) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT DISTINCT PosID FROM POSITION", Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(Find(plan.ValueOrDie(), algebra::OpKind::kDupElim), nullptr);
+}
+
+TEST(TsqlTest, CoalesceAddsCoalesceOperator) {
+  auto plan = Parser::Parse(
+      "TEMPORAL SELECT COALESCE PosID FROM POSITION ORDER BY PosID",
+      Provider());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(Find(plan.ValueOrDie(), algebra::OpKind::kCoalesce), nullptr);
+
+  // DISTINCT COALESCE combine.
+  auto both = Parser::Parse(
+      "TEMPORAL SELECT DISTINCT COALESCE PosID FROM POSITION", Provider());
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_NE(Find(both.ValueOrDie(), algebra::OpKind::kDupElim), nullptr);
+  EXPECT_NE(Find(both.ValueOrDie(), algebra::OpKind::kCoalesce), nullptr);
+
+  // COALESCE on a non-temporal result is rejected.
+  EXPECT_FALSE(Parser::Parse(
+                   "SELECT COALESCE EmpName FROM EMPLOYEE", Provider())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tsql
+}  // namespace tango

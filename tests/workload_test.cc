@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "workload/uis.h"
+
+namespace tango {
+namespace workload {
+namespace {
+
+TEST(UisTest, MatchesPublishedStatistics) {
+  dbms::Engine db;
+  UisOptions opts;
+  opts.employee_rows = 5000;  // scaled for test speed; ratios still checked
+  opts.position_rows = 8000;
+  ASSERT_TRUE(LoadUis(&db, opts).ok());
+
+  const dbms::Table* emp = db.catalog().GetTable("EMPLOYEE").ValueOrDie();
+  const dbms::Table* pos = db.catalog().GetTable("POSITION").ValueOrDie();
+
+  // 31 attributes, ~276 bytes per tuple (13.8 MB / 49,972 in the paper).
+  EXPECT_EQ(emp->schema().num_columns(), 31u);
+  EXPECT_NEAR(emp->file().avg_tuple_bytes(), 276, 60);
+  // 8 attributes, ~80 bytes per tuple (6.7 MB / 83,857 in the paper).
+  EXPECT_EQ(pos->schema().num_columns(), 8u);
+  EXPECT_NEAR(pos->file().avg_tuple_bytes(), 80, 25);
+  EXPECT_EQ(pos->file().num_tuples(), 8000u);
+  EXPECT_TRUE(pos->stats().analyzed);
+}
+
+TEST(UisTest, TimeDistributionMatchesPaper) {
+  auto rows = GeneratePositionRows(20000, 7);
+  const int64_t jan95 = date::Jan1(1995);
+  const int64_t jan92 = date::Jan1(1992);
+  size_t after95 = 0, after92 = 0, valid = 0;
+  for (const Tuple& t : rows) {
+    const int64_t t1 = t[6].AsInt();
+    const int64_t t2 = t[7].AsInt();
+    if (t1 < t2) ++valid;
+    if (t1 >= jan95) ++after95;
+    if (t1 >= jan92) ++after92;
+  }
+  EXPECT_EQ(valid, rows.size());
+  // "about 65% of the POSITION tuples have time-periods starting at 1995
+  // or later".
+  EXPECT_NEAR(static_cast<double>(after95) / rows.size(), 0.65, 0.03);
+  // "most of the POSITION data is concentrated after 1992".
+  EXPECT_GT(static_cast<double>(after92) / rows.size(), 0.75);
+}
+
+TEST(UisTest, PayRateSelectivity) {
+  auto rows = GeneratePositionRows(20000, 7);
+  size_t above10 = 0;
+  for (const Tuple& t : rows) {
+    EXPECT_GT(t[3].AsDouble(), 3.0);
+    if (t[3].AsDouble() > 10.0) ++above10;
+  }
+  // The Query-2 predicate "pay rate greater than $10" is selective.
+  const double sel = static_cast<double>(above10) / rows.size();
+  EXPECT_GT(sel, 0.10);
+  EXPECT_LT(sel, 0.45);
+}
+
+TEST(UisTest, DeterministicAcrossCalls) {
+  auto a = GeneratePositionRows(500, 42);
+  auto b = GeneratePositionRows(500, 42);
+  auto c = GeneratePositionRows(500, 43);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].Compare(b[i][j]) != 0) all_equal = false;
+      if (a[i][j].Compare(c[i][j]) != 0) differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(UisTest, VariantIsPrefixConsistent) {
+  dbms::Engine db;
+  UisOptions opts;
+  ASSERT_TRUE(LoadPositionVariant(&db, "POS_V", 3000, opts).ok());
+  const dbms::Table* t = db.catalog().GetTable("POS_V").ValueOrDie();
+  EXPECT_EQ(t->file().num_tuples(), 3000u);
+  EXPECT_TRUE(t->stats().analyzed);
+  // Variant carries the T1 index the experiments use.
+  auto idx = t->schema().IndexOf("T1");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE(t->HasIndex(idx.ValueOrDie()));
+}
+
+TEST(UniformRTest, MatchesSection33Setup) {
+  dbms::Engine db;
+  ASSERT_TRUE(LoadUniformR(&db, "R", 20000).ok());
+  const dbms::Table* t = db.catalog().GetTable("R").ValueOrDie();
+  EXPECT_EQ(t->file().num_tuples(), 20000u);
+  const auto& stats = t->stats();
+  // T1 range: Jan 1 1995 .. Dec 25 1999 (so T2 stays within Jan 1 2000).
+  EXPECT_GE(stats.columns[2].min.AsInt(), date::Jan1(1995));
+  EXPECT_LE(stats.columns[3].max.AsInt(), date::Jan1(2000));
+  // Every period is exactly 7 days.
+  auto it = t->file().Scan();
+  Tuple row;
+  while (it.Next(&row)) {
+    ASSERT_EQ(row[3].AsInt() - row[2].AsInt(), 7);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace tango
