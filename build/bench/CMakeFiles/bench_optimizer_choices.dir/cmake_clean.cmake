@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_choices.dir/bench_optimizer_choices.cc.o"
+  "CMakeFiles/bench_optimizer_choices.dir/bench_optimizer_choices.cc.o.d"
+  "bench_optimizer_choices"
+  "bench_optimizer_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

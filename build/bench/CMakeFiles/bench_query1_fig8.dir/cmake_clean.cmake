@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query1_fig8.dir/bench_query1_fig8.cc.o"
+  "CMakeFiles/bench_query1_fig8.dir/bench_query1_fig8.cc.o.d"
+  "bench_query1_fig8"
+  "bench_query1_fig8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query1_fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selectivity_sec33.dir/bench_selectivity_sec33.cc.o"
+  "CMakeFiles/bench_selectivity_sec33.dir/bench_selectivity_sec33.cc.o.d"
+  "bench_selectivity_sec33"
+  "bench_selectivity_sec33.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selectivity_sec33.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_split.dir/adaptive_split.cpp.o"
+  "CMakeFiles/adaptive_split.dir/adaptive_split.cpp.o.d"
+  "adaptive_split"
+  "adaptive_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_pairs.dir/overlap_pairs.cpp.o"
+  "CMakeFiles/overlap_pairs.dir/overlap_pairs.cpp.o.d"
+  "overlap_pairs"
+  "overlap_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/position_history.dir/position_history.cpp.o"
+  "CMakeFiles/position_history.dir/position_history.cpp.o.d"
+  "position_history"
+  "position_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/position_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_periods.dir/service_periods.cpp.o"
+  "CMakeFiles/service_periods.dir/service_periods.cpp.o.d"
+  "service_periods"
+  "service_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

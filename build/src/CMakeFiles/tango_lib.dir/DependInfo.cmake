@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/algebra.cc" "src/CMakeFiles/tango_lib.dir/algebra/algebra.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/algebra/algebra.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/tango_lib.dir/common/date.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/common/date.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tango_lib.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/tango_lib.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tango_lib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/tango_lib.dir/common/value.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/common/value.cc.o.d"
+  "/root/repo/src/common/wire.cc" "src/CMakeFiles/tango_lib.dir/common/wire.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/common/wire.cc.o.d"
+  "/root/repo/src/cost/calibrate.cc" "src/CMakeFiles/tango_lib.dir/cost/calibrate.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/cost/calibrate.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/tango_lib.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/dbms/catalog.cc" "src/CMakeFiles/tango_lib.dir/dbms/catalog.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/dbms/catalog.cc.o.d"
+  "/root/repo/src/dbms/connection.cc" "src/CMakeFiles/tango_lib.dir/dbms/connection.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/dbms/connection.cc.o.d"
+  "/root/repo/src/dbms/engine.cc" "src/CMakeFiles/tango_lib.dir/dbms/engine.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/dbms/engine.cc.o.d"
+  "/root/repo/src/dbms/exec_ops.cc" "src/CMakeFiles/tango_lib.dir/dbms/exec_ops.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/dbms/exec_ops.cc.o.d"
+  "/root/repo/src/dbms/planner.cc" "src/CMakeFiles/tango_lib.dir/dbms/planner.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/dbms/planner.cc.o.d"
+  "/root/repo/src/exec/basic.cc" "src/CMakeFiles/tango_lib.dir/exec/basic.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/exec/basic.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/tango_lib.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/exec/join.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/tango_lib.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/taggr.cc" "src/CMakeFiles/tango_lib.dir/exec/taggr.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/exec/taggr.cc.o.d"
+  "/root/repo/src/exec/transfer.cc" "src/CMakeFiles/tango_lib.dir/exec/transfer.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/exec/transfer.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/tango_lib.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/expr/expr.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/CMakeFiles/tango_lib.dir/optimizer/memo.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/optimizer/memo.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/tango_lib.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/phys.cc" "src/CMakeFiles/tango_lib.dir/optimizer/phys.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/optimizer/phys.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/tango_lib.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/tango_lib.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sqlgen/translator.cc" "src/CMakeFiles/tango_lib.dir/sqlgen/translator.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/sqlgen/translator.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/tango_lib.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/tango_lib.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/stats/stats.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/tango_lib.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/tango_lib.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/run_file.cc" "src/CMakeFiles/tango_lib.dir/storage/run_file.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/storage/run_file.cc.o.d"
+  "/root/repo/src/tango/compiler.cc" "src/CMakeFiles/tango_lib.dir/tango/compiler.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/tango/compiler.cc.o.d"
+  "/root/repo/src/tango/middleware.cc" "src/CMakeFiles/tango_lib.dir/tango/middleware.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/tango/middleware.cc.o.d"
+  "/root/repo/src/tsql/tsql.cc" "src/CMakeFiles/tango_lib.dir/tsql/tsql.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/tsql/tsql.cc.o.d"
+  "/root/repo/src/workload/uis.cc" "src/CMakeFiles/tango_lib.dir/workload/uis.cc.o" "gcc" "src/CMakeFiles/tango_lib.dir/workload/uis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_exec_ops_test.dir/dbms_exec_ops_test.cc.o"
+  "CMakeFiles/dbms_exec_ops_test.dir/dbms_exec_ops_test.cc.o.d"
+  "dbms_exec_ops_test"
+  "dbms_exec_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_exec_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

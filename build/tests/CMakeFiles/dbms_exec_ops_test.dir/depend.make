@@ -1,0 +1,2 @@
+# Empty dependencies file for dbms_exec_ops_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_test.dir/dbms_test.cc.o"
+  "CMakeFiles/dbms_test.dir/dbms_test.cc.o.d"
+  "dbms_test"
+  "dbms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsql_test.dir/tsql_test.cc.o"
+  "CMakeFiles/tsql_test.dir/tsql_test.cc.o.d"
+  "tsql_test"
+  "tsql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
