@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification matrix: builds and runs the test suite in three
+# configurations — plain, AddressSanitizer+UBSan, and ThreadSanitizer.
+# The TSan leg is what proves the parallel execution engine free of data
+# races; the differential tests in parallel_exec_test.cc drive every
+# parallel operator at DOP 4 under it.
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1" dir="$2" sanitize="$3"
+  echo "=== ${name}: configure + build + ctest (${dir}) ==="
+  cmake -B "${dir}" -S . -DTANGO_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  echo "=== ${name}: OK ==="
+  echo
+}
+
+run_config "plain"  build           ""
+run_config "asan"   build-asan      address
+run_config "tsan"   build-tsan      thread
+
+echo "all configurations passed"

@@ -1,0 +1,69 @@
+#ifndef TANGO_COMMON_THREAD_POOL_H_
+#define TANGO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tango {
+namespace common {
+
+/// \brief Fixed-size worker pool backing the parallel middleware operators.
+///
+/// Deliberately minimal: a shared FIFO of tasks, `Submit` returning a
+/// `std::future` (exceptions thrown by a task surface when the future is
+/// awaited), no work stealing — the operators submit a handful of
+/// coarse-grained tasks (one per sorted run / join partition), so a single
+/// queue is never the bottleneck.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future yields its result (or rethrows the
+  /// exception it raised). The pool stays usable after any number of
+  /// submit/wait cycles.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+using ThreadPoolPtr = std::shared_ptr<ThreadPool>;
+
+}  // namespace common
+}  // namespace tango
+
+#endif  // TANGO_COMMON_THREAD_POOL_H_

@@ -65,6 +65,21 @@ class CostModel {
   CostFactors& factors() { return f_; }
   const CostFactors& factors() const { return f_; }
 
+  /// Degree of parallelism of the middleware execution engine, with the
+  /// efficiency discount applied to the extra workers (partition skew,
+  /// merge/concatenate serial phases, pool overhead). The CPU terms of the
+  /// parallelized algorithms — SORT^M run generation and TJOIN^M partition
+  /// joins — divide by the effective DOP, which shifts the optimizer's
+  /// middleware-vs-DBMS placement toward the middleware as DOP grows.
+  void set_parallelism(size_t dop, double efficiency = 0.7) {
+    dop_ = dop == 0 ? 1 : dop;
+    efficiency_ = efficiency < 0 ? 0 : (efficiency > 1 ? 1 : efficiency);
+  }
+  size_t dop() const { return dop_; }
+  double EffectiveDop() const {
+    return 1.0 + (static_cast<double>(dop_) - 1.0) * efficiency_;
+  }
+
   // ---- Figure 6 ----
   double TransferM(double size) const { return f_.stmt + f_.tm * size; }
   double TransferD(double size) const { return f_.stmt + f_.td * size; }
@@ -84,15 +99,18 @@ class CostModel {
 
   // ---- middleware algorithms ----
   double SortM(double size, double cardinality) const {
-    return f_.sortm * size * Log2(cardinality);
+    return f_.sortm * size * Log2(cardinality) / EffectiveDop();
   }
   double ProjectM(double size) const { return f_.projm * size; }
   double MergeJoinM(double left_size, double right_size,
                     double out_size) const {
     return f_.mjm * (left_size + right_size) + f_.mjout * out_size;
   }
+  /// The per-input term parallelizes across range partitions; the
+  /// output-forming term stays serial (concatenation + emission).
   double TJoinM(double left_size, double right_size, double out_size) const {
-    return f_.tjm * (left_size + right_size) + f_.mjout * out_size;
+    return f_.tjm * (left_size + right_size) / EffectiveDop() +
+           f_.mjout * out_size;
   }
   double DupElimM(double size) const { return f_.dupm * size; }
   double CoalesceM(double size) const { return f_.coalm * size; }
@@ -130,6 +148,8 @@ class CostModel {
   }
 
   CostFactors f_;
+  size_t dop_ = 1;
+  double efficiency_ = 0.7;
 };
 
 }  // namespace cost

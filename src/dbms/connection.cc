@@ -41,6 +41,9 @@ class RemoteCursor : public Cursor {
 
  private:
   Status FetchBatch() {
+    // Per-batch wire lock: concurrent remote cursors (prefetch threads)
+    // interleave batches instead of racing on the engine and counters.
+    const auto wire = conn_->AcquireWire();
     buffer_.clear();
     pos_ = 0;
     // Server side: produce + serialize a batch.
@@ -108,6 +111,7 @@ void Connection::PaceBatch() {
 }
 
 Result<QueryResult> Connection::Execute(const std::string& sql) {
+  const auto wire = AcquireWire();
   PaceRoundTrip();
   counters_.bytes_to_server += sql.size();
   TANGO_ASSIGN_OR_RETURN(QueryResult result, engine_->Execute(sql));
@@ -123,6 +127,7 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
 }
 
 Result<CursorPtr> Connection::ExecuteQuery(const std::string& sql) {
+  const auto wire = AcquireWire();
   PaceRoundTrip();
   counters_.bytes_to_server += sql.size();
   TANGO_ASSIGN_OR_RETURN(CursorPtr server, engine_->OpenQuery(sql));
@@ -132,6 +137,7 @@ Result<CursorPtr> Connection::ExecuteQuery(const std::string& sql) {
 
 Status Connection::BulkLoad(const std::string& table,
                             const std::vector<Tuple>& rows) {
+  const auto wire = AcquireWire();
   PaceRoundTrip();
   // Client side serializes everything (the SQL*Loader data file)...
   WireWriter writer;
@@ -160,6 +166,7 @@ Status Connection::InsertLoad(const std::string& table,
       sql += t[i].ToSqlLiteral();
     }
     sql += ")";
+    const auto wire = AcquireWire();
     PaceRoundTrip();
     counters_.bytes_to_server += sql.size();
     TANGO_RETURN_IF_ERROR(engine_->Execute(sql).status());
@@ -168,12 +175,14 @@ Status Connection::InsertLoad(const std::string& table,
 }
 
 Result<TableStats> Connection::GetTableStats(const std::string& table) {
+  const auto wire = AcquireWire();
   PaceRoundTrip();
   TANGO_ASSIGN_OR_RETURN(const Table* t, engine_->catalog().GetTable(table));
   return t->stats();
 }
 
 Result<Schema> Connection::GetTableSchema(const std::string& table) {
+  const auto wire = AcquireWire();
   PaceRoundTrip();
   TANGO_ASSIGN_OR_RETURN(const Table* t, engine_->catalog().GetTable(table));
   return t->schema();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,10 +76,19 @@ class Connection {
   Result<Schema> GetTableSchema(const std::string& table);
 
   /// Applies pacing for `bytes` crossing the link (used internally and by
-  /// the remote cursor).
+  /// the remote cursor). Callers must hold the wire lock.
   void PaceBytes(size_t bytes);
   void PaceRoundTrip();
   void PaceBatch();
+
+  /// Serializes access to the (single) wire and the in-process engine. The
+  /// parallel execution engine drains TRANSFER^M cursors on prefetch
+  /// threads, so statements and prefetch batches from different threads
+  /// interleave at statement/batch granularity under this lock — like one
+  /// JDBC connection shared by synchronized accessors.
+  std::unique_lock<std::mutex> AcquireWire() {
+    return std::unique_lock<std::mutex>(wire_mu_);
+  }
 
  private:
   void Spin(double seconds);
@@ -86,6 +96,7 @@ class Connection {
   Engine* engine_;
   WireConfig config_;
   WireCounters counters_;
+  std::mutex wire_mu_;
 };
 
 }  // namespace dbms

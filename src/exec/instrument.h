@@ -2,7 +2,9 @@
 #define TANGO_EXEC_INSTRUMENT_H_
 
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,13 @@ namespace exec {
 struct AlgorithmTiming {
   std::string label;
   double inclusive_seconds = 0;
+  /// CPU seconds spent inside pool workers on behalf of this algorithm
+  /// (parallel operators only; 0 for serial ones). With DOP workers the
+  /// wall-clock self time is roughly worker_seconds / DOP — the feedback
+  /// loop uses the wall time against the DOP-discounted formulas, and this
+  /// field lets tests/benches verify the per-worker times aggregate to the
+  /// full serial work.
+  double worker_seconds = 0;
   uint64_t rows = 0;
   std::vector<size_t> child_ids;  // ids of wrapped children
 };
@@ -24,8 +33,26 @@ struct AlgorithmTiming {
 /// Sink shared by all instrumented cursors of one plan execution.
 using TimingSink = std::vector<AlgorithmTiming>;
 
+/// Thread-safe accumulator a parallel cursor calls from pool workers to
+/// report task durations; wired up by InstrumentedCursor::WorkerRecorder.
+using WorkerTimeRecorder = std::function<void(double seconds)>;
+
+/// Implemented by cursors that run work on pool threads and can report the
+/// per-worker task times (the parallel sort / join / transfer drain).
+class WorkerTimedCursor {
+ public:
+  virtual ~WorkerTimedCursor() = default;
+  virtual void set_worker_time_recorder(WorkerTimeRecorder recorder) = 0;
+};
+
 /// \brief Decorator measuring the wall time spent inside a cursor (Init and
 /// all Next calls) and the rows produced.
+///
+/// Recording is guarded by a per-cursor mutex: with the parallel transfer
+/// drain, an inner cursor's Init/Next run on the prefetch thread while its
+/// worker recorder may fire concurrently from pool tasks. Each sink entry is
+/// written only through its owning InstrumentedCursor, so the per-cursor
+/// lock fully serializes access to the entry.
 class InstrumentedCursor : public Cursor {
  public:
   /// Registers a slot in `sink` and remembers its id.
@@ -37,6 +64,13 @@ class InstrumentedCursor : public Cursor {
     t.child_ids = std::move(child_ids);
     id_ = sink_->size();
     sink_->push_back(std::move(t));
+    // Parallel cursors report their pool-task durations into this entry.
+    if (auto* wt = dynamic_cast<WorkerTimedCursor*>(inner_.get())) {
+      wt->set_worker_time_recorder([this](double seconds) {
+        std::lock_guard<std::mutex> lock(mu_);
+        (*sink_)[id_].worker_seconds += seconds;
+      });
+    }
   }
 
   size_t id() const { return id_; }
@@ -51,8 +85,7 @@ class InstrumentedCursor : public Cursor {
   Result<bool> Next(Tuple* tuple) override {
     const auto start = Clock::now();
     Result<bool> r = inner_->Next(tuple);
-    Record(start);
-    if (r.ok() && r.ValueOrDie()) (*sink_)[id_].rows += 1;
+    Record(start, r.ok() && r.ValueOrDie());
     return r;
   }
 
@@ -61,18 +94,25 @@ class InstrumentedCursor : public Cursor {
  private:
   using Clock = std::chrono::steady_clock;
 
-  void Record(Clock::time_point start) {
+  void Record(Clock::time_point start, bool produced_row = false) {
     const auto elapsed = Clock::now() - start;
+    std::lock_guard<std::mutex> lock(mu_);
     (*sink_)[id_].inclusive_seconds +=
         std::chrono::duration<double>(elapsed).count();
+    if (produced_row) (*sink_)[id_].rows += 1;
   }
 
   CursorPtr inner_;
   TimingSink* sink_;
   size_t id_;
+  std::mutex mu_;
 };
 
 /// Self time of algorithm `id` (inclusive minus children's inclusive).
+///
+/// With the parallel transfer drain a child runs concurrently with its
+/// parent, so the child's inclusive time is no longer strictly nested in the
+/// parent's; the subtraction can undershoot and is clamped at zero.
 inline double SelfSeconds(const TimingSink& sink, size_t id) {
   double t = sink[id].inclusive_seconds;
   for (size_t c : sink[id].child_ids) t -= sink[c].inclusive_seconds;

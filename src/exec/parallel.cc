@@ -1,0 +1,498 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+namespace tango {
+namespace exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParallelSortCursor
+// ---------------------------------------------------------------------------
+
+ParallelSortCursor::ParallelSortCursor(CursorPtr child,
+                                       std::vector<SortKey> keys,
+                                       common::ThreadPoolPtr pool,
+                                       size_t memory_budget_bytes, size_t dop)
+    : child_(std::move(child)),
+      cmp_(std::move(keys)),
+      pool_(std::move(pool)),
+      budget_(memory_budget_bytes),
+      dop_(dop) {}
+
+Result<bool> ParallelSortCursor::Run::Next(Tuple* tuple) {
+  if (file.has_value()) return file->Next(tuple);
+  if (pos >= mem.size()) return false;
+  *tuple = mem[pos++];
+  return true;
+}
+
+Status ParallelSortCursor::Init() {
+  TANGO_RETURN_IF_ERROR(child_->Init());
+  runs_.clear();
+  heap_.clear();
+  merging_ = false;
+  spilled_ = 0;
+
+  const size_t dop =
+      dop_ != 0 ? dop_ : (pool_ != nullptr ? pool_->num_threads() : 1);
+  const size_t chunk_bytes = std::max<size_t>(budget_ / std::max<size_t>(dop, 1), 1);
+
+  // Each task stable-sorts one chunk; chunks at index >= dop spill so the
+  // in-memory footprint of finished runs stays around one budget.
+  const WorkerTimeRecorder recorder = recorder_;  // copied before any task runs
+  const TupleComparator* cmp = &cmp_;
+  auto sort_chunk = [recorder, cmp](std::vector<Tuple> rows,
+                                    bool spill) -> Result<Run> {
+    const auto start = Clock::now();
+    std::stable_sort(rows.begin(), rows.end(), *cmp);
+    Run run;
+    if (spill) {
+      storage::RunFile file;
+      TANGO_RETURN_IF_ERROR(file.Open());
+      for (const Tuple& t : rows) {
+        TANGO_RETURN_IF_ERROR(file.Append(t));
+      }
+      run.file.emplace(std::move(file));
+    } else {
+      run.mem = std::move(rows);
+    }
+    if (recorder) recorder(SecondsSince(start));
+    return run;
+  };
+
+  std::vector<std::future<Result<Run>>> futures;
+  std::vector<Result<Run>> inline_runs;
+  const bool pooled = pool_ != nullptr && dop > 1;
+  auto submit = [&](std::vector<Tuple> rows, size_t index) {
+    const bool spill = index >= dop;
+    if (pooled) {
+      futures.push_back(pool_->Submit(
+          [rows = std::move(rows), spill, &sort_chunk]() mutable {
+            return sort_chunk(std::move(rows), spill);
+          }));
+    } else {
+      inline_runs.push_back(sort_chunk(std::move(rows), spill));
+    }
+  };
+
+  // Sequential consumption, chunking in input order. A child error must not
+  // return before every outstanding task is collected below — the tasks
+  // reference this stack frame.
+  Status first_error = Status::OK();
+  std::vector<Tuple> chunk;
+  size_t bytes = 0;
+  size_t index = 0;
+  Tuple t;
+  while (true) {
+    Result<bool> more = child_->Next(&t);
+    if (!more.ok()) {
+      first_error = more.status();
+      break;
+    }
+    if (!more.ValueOrDie()) break;
+    bytes += TupleByteSize(t);
+    chunk.push_back(std::move(t));
+    if (bytes > chunk_bytes) {
+      submit(std::move(chunk), index++);
+      chunk = {};
+      bytes = 0;
+    }
+  }
+  if (first_error.ok() && !chunk.empty()) submit(std::move(chunk), index++);
+  auto absorb = [&](Result<Run> r) {
+    if (!r.ok()) {
+      if (first_error.ok()) first_error = r.status();
+      return;
+    }
+    Run run = r.MoveValueOrDie();
+    if (run.file.has_value()) ++spilled_;
+    runs_.push_back(std::move(run));
+  };
+  for (auto& f : futures) {
+    try {
+      absorb(f.get());
+    } catch (const std::exception& e) {
+      if (first_error.ok()) {
+        first_error = Status::Internal(std::string("sort task failed: ") +
+                                       e.what());
+      }
+    }
+  }
+  for (auto& r : inline_runs) absorb(std::move(r));
+  TANGO_RETURN_IF_ERROR(first_error);
+
+  if (runs_.size() <= 1) return Status::OK();  // single-run fast path
+
+  // K-way merge setup; spilled runs rewind to read mode.
+  merging_ = true;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].file.has_value()) {
+      TANGO_RETURN_IF_ERROR(runs_[i].file->Rewind());
+    }
+    Tuple head;
+    TANGO_ASSIGN_OR_RETURN(bool more, runs_[i].Next(&head));
+    if (more) heap_.push_back({std::move(head), i});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapCmp{&cmp_});
+  return Status::OK();
+}
+
+Result<bool> ParallelSortCursor::Next(Tuple* tuple) {
+  if (!merging_) {
+    if (runs_.empty()) return false;
+    return runs_[0].Next(tuple);
+  }
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{&cmp_});
+  HeapEntry top = std::move(heap_.back());
+  heap_.pop_back();
+  *tuple = std::move(top.tuple);
+  Tuple next;
+  TANGO_ASSIGN_OR_RETURN(bool more, runs_[top.run].Next(&next));
+  if (more) {
+    heap_.push_back({std::move(next), top.run});
+    std::push_heap(heap_.begin(), heap_.end(), HeapCmp{&cmp_});
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelTemporalJoinCursor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Serial temporal join restricted to pairs whose intersection start falls
+/// in [lo, hi) — the dedup rule that makes overlap-spill replication safe.
+class WindowedTemporalJoinCursor : public TemporalJoinCursor {
+ public:
+  WindowedTemporalJoinCursor(CursorPtr left, CursorPtr right,
+                             std::vector<size_t> left_keys,
+                             std::vector<size_t> right_keys, size_t left_t1,
+                             size_t left_t2, size_t right_t1, size_t right_t2,
+                             std::vector<size_t> left_out,
+                             std::vector<size_t> right_out, Schema schema,
+                             int64_t lo, int64_t hi)
+      : TemporalJoinCursor(std::move(left), std::move(right),
+                           std::move(left_keys), std::move(right_keys),
+                           left_t1, left_t2, right_t1, right_t2,
+                           std::move(left_out), std::move(right_out),
+                           std::move(schema)),
+        lo_(lo),
+        hi_(hi) {}
+
+ protected:
+  bool EmitPair(const Tuple& left, const Tuple& right, Tuple* out) override {
+    if (!TemporalJoinCursor::EmitPair(left, right, out)) return false;
+    // The output carries GREATEST(T1) as its second-to-last column; the
+    // partitioning phase guarantees it is a non-null integer.
+    const int64_t start = (*out)[out->size() - 2].AsInt();
+    return start >= lo_ && start < hi_;
+  }
+
+ private:
+  int64_t lo_, hi_;
+};
+
+}  // namespace
+
+ParallelTemporalJoinCursor::ParallelTemporalJoinCursor(
+    CursorPtr left, CursorPtr right, std::vector<size_t> left_keys,
+    std::vector<size_t> right_keys, size_t left_t1, size_t left_t2,
+    size_t right_t1, size_t right_t2, std::vector<size_t> left_out,
+    std::vector<size_t> right_out, Schema schema, common::ThreadPoolPtr pool,
+    size_t dop)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      left_t1_(left_t1),
+      left_t2_(left_t2),
+      right_t1_(right_t1),
+      right_t2_(right_t2),
+      left_out_(std::move(left_out)),
+      right_out_(std::move(right_out)),
+      schema_(std::move(schema)),
+      pool_(std::move(pool)),
+      dop_(dop) {}
+
+CursorPtr ParallelTemporalJoinCursor::MakeSerialJoin(
+    std::vector<Tuple> left_rows, std::vector<Tuple> right_rows) const {
+  // The child schemas are only needed for arity; reuse the inputs' schemas.
+  auto lv = std::make_unique<VectorCursor>(left_->schema(),
+                                           std::move(left_rows));
+  auto rv = std::make_unique<VectorCursor>(right_->schema(),
+                                           std::move(right_rows));
+  return std::make_unique<TemporalJoinCursor>(
+      std::move(lv), std::move(rv), left_keys_, right_keys_, left_t1_,
+      left_t2_, right_t1_, right_t2_, left_out_, right_out_, schema_);
+}
+
+Status ParallelTemporalJoinCursor::Init() {
+  out_rows_.clear();
+  pos_ = 0;
+  partitions_used_ = 1;
+
+  TANGO_ASSIGN_OR_RETURN(std::vector<Tuple> lrows,
+                         MaterializeAll(left_.get()));
+  TANGO_ASSIGN_OR_RETURN(std::vector<Tuple> rrows,
+                         MaterializeAll(right_.get()));
+
+  const size_t dop =
+      dop_ != 0 ? dop_ : (pool_ != nullptr ? pool_->num_threads() : 1);
+
+  // Find the T1 range; a non-integer period attribute (or any input too
+  // small to be worth partitioning) falls back to the serial join.
+  bool partitionable = pool_ != nullptr && dop > 1 && !lrows.empty() &&
+                       !rrows.empty();
+  int64_t smin = 0, smax = 0;
+  bool have_range = false;
+  auto scan_range = [&](const std::vector<Tuple>& rows, size_t t1, size_t t2) {
+    for (const Tuple& t : rows) {
+      const Value& v1 = t[t1];
+      const Value& v2 = t[t2];
+      if (v1.is_null() || v2.is_null()) continue;  // never joins; droppable
+      if (!v1.is_int() || !v2.is_int()) {
+        partitionable = false;
+        return;
+      }
+      const int64_t s = v1.AsInt();
+      if (!have_range) {
+        smin = smax = s;
+        have_range = true;
+      } else {
+        smin = std::min(smin, s);
+        smax = std::max(smax, s);
+      }
+    }
+  };
+  if (partitionable) scan_range(lrows, left_t1_, left_t2_);
+  if (partitionable) scan_range(rrows, right_t1_, right_t2_);
+  const int64_t span = have_range ? smax - smin + 1 : 0;
+  if (!partitionable || !have_range ||
+      span < static_cast<int64_t>(2 * dop)) {
+    CursorPtr serial = MakeSerialJoin(std::move(lrows), std::move(rrows));
+    TANGO_ASSIGN_OR_RETURN(out_rows_, MaterializeAll(serial.get()));
+    return Status::OK();
+  }
+
+  // Equal-width partitions of [smin, smax + 1); every intersection start is
+  // some input tuple's T1, so each emitted pair lands in exactly one window.
+  const size_t parts = dop;
+  const int64_t width = (span + static_cast<int64_t>(parts) - 1) /
+                        static_cast<int64_t>(parts);
+  auto window_lo = [&](size_t p) {
+    return smin + static_cast<int64_t>(p) * width;
+  };
+
+  // Overlap-spill: a tuple joins partners whose intersection start lies in
+  // [T1, max(T1 + 1, T2)), so it is replicated into every partition that
+  // range overlaps.
+  std::vector<std::vector<Tuple>> lparts(parts), rparts(parts);
+  auto scatter = [&](std::vector<Tuple> rows, size_t t1, size_t t2,
+                     std::vector<std::vector<Tuple>>* out) {
+    for (Tuple& row : rows) {
+      const Value& v1 = row[t1];
+      const Value& v2 = row[t2];
+      if (v1.is_null() || v2.is_null()) continue;  // cannot join
+      const int64_t start = v1.AsInt();
+      const int64_t reach = std::max(start + 1, v2.AsInt());
+      size_t first = static_cast<size_t>((start - smin) / width);
+      for (size_t p = first; p < parts && window_lo(p) < reach; ++p) {
+        (*out)[p].push_back(row);
+      }
+    }
+  };
+  scatter(std::move(lrows), left_t1_, left_t2_, &lparts);
+  scatter(std::move(rrows), right_t1_, right_t2_, &rparts);
+
+  const WorkerTimeRecorder recorder = recorder_;
+  auto join_partition = [this, recorder](std::vector<Tuple> lp,
+                                         std::vector<Tuple> rp, int64_t lo,
+                                         int64_t hi) -> Result<std::vector<Tuple>> {
+    const auto start = Clock::now();
+    auto lv = std::make_unique<VectorCursor>(left_->schema(), std::move(lp));
+    auto rv = std::make_unique<VectorCursor>(right_->schema(), std::move(rp));
+    WindowedTemporalJoinCursor join(
+        std::move(lv), std::move(rv), left_keys_, right_keys_, left_t1_,
+        left_t2_, right_t1_, right_t2_, left_out_, right_out_, schema_, lo,
+        hi);
+    Result<std::vector<Tuple>> rows = MaterializeAll(&join);
+    if (recorder) recorder(SecondsSince(start));
+    return rows;
+  };
+
+  std::vector<std::future<Result<std::vector<Tuple>>>> futures;
+  futures.reserve(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    const int64_t lo = window_lo(p);
+    const int64_t hi = p + 1 == parts ? smax + 1 : window_lo(p + 1);
+    futures.push_back(pool_->Submit(
+        [lp = std::move(lparts[p]), rp = std::move(rparts[p]), lo, hi,
+         &join_partition]() mutable {
+          return join_partition(std::move(lp), std::move(rp), lo, hi);
+        }));
+  }
+
+  Status first_error = Status::OK();
+  std::vector<std::vector<Tuple>> outputs(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    try {
+      Result<std::vector<Tuple>> r = futures[p].get();
+      if (!r.ok()) {
+        if (first_error.ok()) first_error = r.status();
+      } else {
+        outputs[p] = r.MoveValueOrDie();
+      }
+    } catch (const std::exception& e) {
+      if (first_error.ok()) {
+        first_error = Status::Internal(std::string("join task failed: ") +
+                                       e.what());
+      }
+    }
+  }
+  TANGO_RETURN_IF_ERROR(first_error);
+
+  partitions_used_ = parts;
+  size_t total = 0;
+  for (const auto& o : outputs) total += o.size();
+  out_rows_.reserve(total);
+  for (auto& o : outputs) {
+    out_rows_.insert(out_rows_.end(), std::make_move_iterator(o.begin()),
+                     std::make_move_iterator(o.end()));
+  }
+  return Status::OK();
+}
+
+Result<bool> ParallelTemporalJoinCursor::Next(Tuple* tuple) {
+  if (pos_ >= out_rows_.size()) return false;
+  *tuple = out_rows_[pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PrefetchCursor
+// ---------------------------------------------------------------------------
+
+PrefetchCursor::PrefetchCursor(CursorPtr inner, size_t batch_rows,
+                               size_t max_batches)
+    : inner_(std::move(inner)),
+      schema_(inner_->schema()),
+      batch_rows_(batch_rows == 0 ? 1 : batch_rows),
+      max_batches_(max_batches == 0 ? 1 : max_batches) {}
+
+PrefetchCursor::~PrefetchCursor() { StopProducer(); }
+
+void PrefetchCursor::StopProducer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_ = true;
+  }
+  not_full_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+Status PrefetchCursor::Init() {
+  StopProducer();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();
+    producer_status_ = Status::OK();
+    finished_ = false;
+    cancel_ = false;
+  }
+  batch_.clear();
+  batch_pos_ = 0;
+  saw_error_ = false;
+  producer_ = std::thread([this]() { ProducerLoop(); });
+  return Status::OK();
+}
+
+void PrefetchCursor::ProducerLoop() {
+  const WorkerTimeRecorder recorder = recorder_;
+  const auto started = Clock::now();
+  double active_seconds = 0;
+
+  auto push = [this](std::vector<Tuple> rows) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this]() {
+      return cancel_ || queue_.size() < max_batches_;
+    });
+    if (cancel_) return false;
+    queue_.push_back(std::move(rows));
+    not_empty_.notify_one();
+    return true;
+  };
+
+  Status status = inner_->Init();
+  if (status.ok()) {
+    std::vector<Tuple> batch;
+    batch.reserve(batch_rows_);
+    Tuple t;
+    while (true) {
+      Result<bool> more = inner_->Next(&t);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!more.ValueOrDie()) break;
+      batch.push_back(std::move(t));
+      if (batch.size() >= batch_rows_) {
+        active_seconds = SecondsSince(started);
+        if (!push(std::move(batch))) return;  // consumer gone
+        batch = {};
+        batch.reserve(batch_rows_);
+      }
+    }
+    if (status.ok() && !batch.empty() && !push(std::move(batch))) return;
+  }
+
+  active_seconds = SecondsSince(started);
+  if (recorder) recorder(active_seconds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    producer_status_ = status;
+    finished_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+Result<bool> PrefetchCursor::Next(Tuple* tuple) {
+  if (saw_error_) return producer_status_;
+  while (true) {
+    if (batch_pos_ < batch_.size()) {
+      *tuple = std::move(batch_[batch_pos_++]);
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this]() { return finished_ || !queue_.empty(); });
+    if (!queue_.empty()) {
+      batch_ = std::move(queue_.front());
+      queue_.pop_front();
+      batch_pos_ = 0;
+      not_full_.notify_one();
+      continue;
+    }
+    // Producer finished and the queue is drained.
+    if (!producer_status_.ok()) {
+      saw_error_ = true;
+      return producer_status_;
+    }
+    return false;
+  }
+}
+
+}  // namespace exec
+}  // namespace tango

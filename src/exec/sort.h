@@ -54,8 +54,13 @@ class SortCursor : public Cursor {
   struct HeapCmp {
     const TupleComparator* cmp;
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      // priority_queue is a max-heap; invert for ascending output.
-      return cmp->Compare(a.tuple, b.tuple) > 0;
+      // priority_queue is a max-heap; invert for ascending output. Ties
+      // break on the run index: runs are spilled in input order, so this
+      // makes the merge reproduce a stable sort of the whole input —
+      // bit-identical to the in-memory path and to the parallel sort.
+      const int c = cmp->Compare(a.tuple, b.tuple);
+      if (c != 0) return c > 0;
+      return a.run > b.run;
     }
   };
   std::unique_ptr<std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp>>

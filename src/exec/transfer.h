@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -22,24 +23,30 @@ namespace exec {
 /// marks SQL statements that occur more than once in a plan; the first
 /// TRANSFER^M to execute such a statement materializes the rows here, and
 /// later occurrences are served locally without a second round trip.
+/// Thread-safe: with the parallel transfer drain, TRANSFER^M cursors of one
+/// plan run their Inits on different prefetch threads concurrently.
 class TransferCache {
  public:
   /// Marks `sql` as occurring multiple times in the plan (worth caching).
+  /// Called during compilation (single-threaded), before any execution.
   void MarkShared(const std::string& sql) { shared_.insert(sql); }
   bool IsShared(const std::string& sql) const {
     return shared_.count(sql) != 0;
   }
 
   std::shared_ptr<const std::vector<Tuple>> Get(const std::string& sql) const {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = results_.find(sql);
     return it == results_.end() ? nullptr : it->second;
   }
   void Put(const std::string& sql, std::vector<Tuple> rows) {
+    std::lock_guard<std::mutex> lock(mu_);
     results_[sql] = std::make_shared<const std::vector<Tuple>>(std::move(rows));
   }
 
  private:
   std::set<std::string> shared_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const std::vector<Tuple>>> results_;
 };
 

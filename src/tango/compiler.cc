@@ -7,6 +7,7 @@
 
 #include "exec/basic.h"
 #include "exec/join.h"
+#include "exec/parallel.h"
 #include "exec/sort.h"
 #include "exec/taggr.h"
 #include "exec/transfer.h"
@@ -81,6 +82,7 @@ Result<CompiledPlan> PlanCompiler::Compile(const optimizer::PhysPlanPtr& plan) {
   CompiledPlan out;
   out.timings = std::make_shared<exec::TimingSink>();
   out.transfer_cache = std::make_shared<exec::TransferCache>();
+  if (dop_ > 1) out.pool = std::make_shared<common::ThreadPool>(dop_);
   size_t timing_id = 0;
   TANGO_ASSIGN_OR_RETURN(out.root, CompileNode(*plan, &out, &timing_id));
   // §7 refinement: a statement occurring more than once in the plan is
@@ -130,7 +132,17 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
   auto cursor = std::make_unique<exec::TransferMCursor>(
       conn_, rendered.sql, node.op->schema, std::move(dependencies),
       out->transfer_cache);
-  return Instrument(std::move(cursor), node, dep_ids, out, timing_id);
+  CursorPtr instrumented =
+      Instrument(std::move(cursor), node, dep_ids, out, timing_id);
+  if (dop_ > 1) {
+    // Parallel T^M drain: a prefetch thread decodes wire chunks ahead of
+    // the consumer. The prefetch wrapper is transparent to the timing tree
+    // (the TRANSFER^M entry keeps measuring the real transfer work, now on
+    // the producer thread).
+    return CursorPtr(std::make_unique<exec::PrefetchCursor>(
+        std::move(instrumented), conn_->config().row_prefetch));
+  }
+  return instrumented;
 }
 
 Result<CursorPtr> PlanCompiler::CompileNode(const PhysPlan& node,
@@ -183,9 +195,15 @@ Result<CursorPtr> PlanCompiler::CompileNode(const PhysPlan& node,
         TANGO_ASSIGN_OR_RETURN(size_t idx, child_schema.IndexOf(s.attr));
         keys.push_back({idx, s.ascending});
       }
-      cursor = std::make_unique<exec::SortCursor>(std::move(children[0]),
-                                                  std::move(keys),
-                                                  sort_budget_);
+      if (dop_ > 1) {
+        cursor = std::make_unique<exec::ParallelSortCursor>(
+            std::move(children[0]), std::move(keys), out->pool, sort_budget_,
+            dop_);
+      } else {
+        cursor = std::make_unique<exec::SortCursor>(std::move(children[0]),
+                                                    std::move(keys),
+                                                    sort_budget_);
+      }
       break;
     }
     case Algorithm::kMergeJoinM: {
@@ -228,10 +246,17 @@ Result<CursorPtr> PlanCompiler::CompileNode(const PhysPlan& node,
           right_out.push_back(i);
         }
       }
-      cursor = std::make_unique<exec::TemporalJoinCursor>(
-          std::move(children[0]), std::move(children[1]), std::move(lkeys),
-          std::move(rkeys), lt1, lt2, rt1, rt2, std::move(left_out),
-          std::move(right_out), node.op->schema);
+      if (dop_ > 1) {
+        cursor = std::make_unique<exec::ParallelTemporalJoinCursor>(
+            std::move(children[0]), std::move(children[1]), std::move(lkeys),
+            std::move(rkeys), lt1, lt2, rt1, rt2, std::move(left_out),
+            std::move(right_out), node.op->schema, out->pool, dop_);
+      } else {
+        cursor = std::make_unique<exec::TemporalJoinCursor>(
+            std::move(children[0]), std::move(children[1]), std::move(lkeys),
+            std::move(rkeys), lt1, lt2, rt1, rt2, std::move(left_out),
+            std::move(right_out), node.op->schema);
+      }
       break;
     }
     case Algorithm::kTAggrM: {

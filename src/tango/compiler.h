@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "dbms/connection.h"
 #include "exec/instrument.h"
 #include "exec/transfer.h"
@@ -31,6 +32,8 @@ struct CompiledPlan {
   std::vector<std::string> sql_statements;
   /// Shared store for identical TRANSFER^M statements (§7 refinement).
   std::shared_ptr<exec::TransferCache> transfer_cache;
+  /// Worker pool shared by the plan's parallel operators (null at DOP 1).
+  common::ThreadPoolPtr pool;
 };
 
 /// \brief Builds the execution-ready plan from an optimized physical plan:
@@ -48,6 +51,12 @@ class PlanCompiler {
   /// Memory budget for each SORT^M before it spills runs to disk (the
   /// paper's "support very large relations" enhancement).
   void set_sort_memory_budget(size_t bytes) { sort_budget_ = bytes; }
+
+  /// Degree of parallelism for the middleware algorithms. At 1 (default)
+  /// the serial cursors are compiled; above 1 the plan gets a shared
+  /// ThreadPool and SORT^M / TJOIN^M / the T^M drain use their parallel
+  /// variants.
+  void set_dop(size_t dop) { dop_ = dop == 0 ? 1 : dop; }
 
   Result<CompiledPlan> Compile(const optimizer::PhysPlanPtr& plan);
 
@@ -69,6 +78,7 @@ class PlanCompiler {
   int temp_counter_ = 0;
   bool share_transfers_ = true;
   size_t sort_budget_ = 32 << 20;
+  size_t dop_ = 1;
 };
 
 }  // namespace tango

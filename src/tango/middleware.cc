@@ -74,6 +74,7 @@ Result<Middleware::Execution> Middleware::Execute(
   PlanCompiler compiler(&connection_);
   compiler.set_share_common_transfers(config_.share_common_transfers);
   compiler.set_sort_memory_budget(config_.sort_memory_budget_bytes);
+  compiler.set_dop(config_.dop);
   TANGO_ASSIGN_OR_RETURN(CompiledPlan compiled, compiler.Compile(plan));
 
   const auto start = std::chrono::steady_clock::now();
@@ -218,16 +219,24 @@ void Middleware::ApplyFeedback(const CompiledPlan& compiled,
         cost::CostModel::Feedback(&f.projm, self_us, in_bytes, alpha);
         break;
       case optimizer::Algorithm::kSortM: {
+        // At DOP > 1 the run generation ran on `dop` workers, so the wall
+        // time observed here is the serial work divided by the effective
+        // DOP; using the same discounted basis as the formula keeps the
+        // factor comparable across DOP settings.
         const double card = p.est_cardinality < 2 ? 2 : p.est_cardinality;
-        cost::CostModel::Feedback(&f.sortm, self_us,
-                                  p.est_bytes * std::log2(card), alpha);
+        cost::CostModel::Feedback(
+            &f.sortm, self_us,
+            p.est_bytes * std::log2(card) / cost_model_.EffectiveDop(),
+            alpha);
         break;
       }
       case optimizer::Algorithm::kMergeJoinM:
         cost::CostModel::Feedback(&f.mjm, self_us, in_bytes, alpha);
         break;
       case optimizer::Algorithm::kTJoinM:
-        cost::CostModel::Feedback(&f.tjm, self_us, in_bytes, alpha);
+        cost::CostModel::Feedback(&f.tjm, self_us,
+                                  in_bytes / cost_model_.EffectiveDop(),
+                                  alpha);
         break;
       case optimizer::Algorithm::kTAggrM:
         // Two factors share the observation; scale both by the ratio of

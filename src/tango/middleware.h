@@ -39,11 +39,21 @@ class Middleware {
     bool share_common_transfers = true;
     /// Memory each SORT^M may use before spilling runs to tmpfiles.
     size_t sort_memory_budget_bytes = 32 << 20;
+    /// Degree of parallelism of the middleware execution engine: 1 runs the
+    /// serial algorithms; above 1 SORT^M, TJOIN^M, and the T^M drain use
+    /// their parallel variants on a `dop`-worker pool, and the Figure-6 cost
+    /// formulas discount the parallelized CPU terms accordingly.
+    size_t dop = 1;
+    /// Fraction of each extra worker the cost model credits (parallel
+    /// efficiency: skew, serial merge phases, pool overhead).
+    double parallel_efficiency = 0.7;
   };
 
   explicit Middleware(dbms::Engine* engine) : Middleware(engine, Config()) {}
   Middleware(dbms::Engine* engine, Config config)
-      : config_(config), connection_(engine, config.wire) {}
+      : config_(config), connection_(engine, config.wire) {
+    cost_model_.set_parallelism(config_.dop, config_.parallel_efficiency);
+  }
 
   dbms::Connection& connection() { return connection_; }
   cost::CostModel& cost_model() { return cost_model_; }

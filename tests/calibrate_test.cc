@@ -21,11 +21,13 @@ TEST(CalibratorTest, FitsPositiveFactorsAndCleansUp) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 
   const CostFactors& f = model.factors();
-  // Every calibrated factor must be positive and finite.
+  // Every calibrated factor must be positive and sane. The upper bound is
+  // generous: sanitizer builds run the probes an order of magnitude slower
+  // and a loaded host adds more on top.
   for (double v : {f.tm, f.td, f.sem, f.taggm1, f.taggm2, f.taggd1, f.taggd2,
                    f.sortm, f.mjm, f.tjm, f.scand, f.sortd, f.joind}) {
     EXPECT_GT(v, 0.0);
-    EXPECT_LT(v, 1e4);
+    EXPECT_LT(v, 1e6);
   }
   // The central asymmetry the paper measures: temporal aggregation per
   // input byte is far more expensive in the DBMS than in the middleware.
