@@ -5,6 +5,12 @@
 # races; the differential tests in parallel_exec_test.cc drive every
 # parallel operator at DOP 4 under it.
 #
+# The robustness suites (fault_matrix_test, wire_fuzz_test, recovery_test)
+# are additionally invoked by name under both sanitizer legs: the fault
+# matrix and the wire fuzzer are exactly the tests whose failure mode is
+# memory corruption / a race in the recovery paths, so they must stay green
+# under ASan and TSan even if the main ctest selection is ever narrowed.
+#
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 
 set -euo pipefail
@@ -12,12 +18,18 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
+ROBUSTNESS_SUITES='^(fault_matrix_test|wire_fuzz_test|recovery_test)$'
+
 run_config() {
   local name="$1" dir="$2" sanitize="$3"
   echo "=== ${name}: configure + build + ctest (${dir}) ==="
   cmake -B "${dir}" -S . -DTANGO_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  if [[ -n "${sanitize}" ]]; then
+    echo "=== ${name}: robustness suites (fault matrix + wire fuzz + recovery) ==="
+    (cd "${dir}" && ctest --output-on-failure -R "${ROBUSTNESS_SUITES}")
+  fi
   echo "=== ${name}: OK ==="
   echo
 }

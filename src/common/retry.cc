@@ -1,0 +1,49 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tango {
+
+namespace {
+uint64_t SplitMix(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+RetryState::RetryState(const RetryPolicy& policy, uint64_t salt)
+    : policy_(policy),
+      next_delay_(policy.initial_backoff_seconds),
+      rng_state_(policy.seed ^ salt) {}
+
+bool RetryState::ShouldRetry(const Status& last) const {
+  return IsRetryable(last) && attempt_ < policy_.max_attempts;
+}
+
+Status RetryState::Backoff(const QueryControlPtr& control) {
+  ++attempt_;
+  double delay = next_delay_;
+  next_delay_ = std::min(next_delay_ * policy_.backoff_multiplier,
+                         policy_.max_backoff_seconds);
+  if (policy_.jitter > 0) {
+    const double u =
+        static_cast<double>(SplitMix(&rng_state_) >> 11) / 9007199254740992.0;
+    delay *= 1.0 + policy_.jitter * (u - 0.5);
+  }
+  if (control != nullptr) {
+    TANGO_RETURN_IF_ERROR(control->Check());
+    if (control->RemainingSeconds() <= delay) {
+      return Status::Timeout("query deadline reached during retry backoff");
+    }
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  return CheckControl(control);
+}
+
+}  // namespace tango

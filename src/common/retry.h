@@ -1,0 +1,85 @@
+#ifndef TANGO_COMMON_RETRY_H_
+#define TANGO_COMMON_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cancel.h"
+#include "common/status.h"
+
+namespace tango {
+
+/// \brief Capped exponential backoff with seeded jitter and an attempt
+/// budget — the recovery discipline for transient wire/DBMS failures.
+///
+/// Only idempotent work is retried, and each operator knows how to make its
+/// retry idempotent: a TRANSFER^M SELECT is re-issued in place (the engine
+/// is deterministic, so already-delivered rows are skipped), a TRANSFER^D
+/// drops and recreates its temp table before reloading, and temp-table
+/// drops are naturally idempotent.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 4;
+  double initial_backoff_seconds = 200e-6;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 20e-3;
+  /// Uniform jitter fraction applied to each delay (+/- jitter/2), seeded
+  /// so fault-matrix runs are reproducible.
+  double jitter = 0.5;
+  uint64_t seed = 0x7e77e7;
+};
+
+/// Codes worth re-attempting. kTimeout is transient but NOT retryable: the
+/// deadline that produced it governs the whole query, so re-running the
+/// statement cannot help.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kAborted;
+}
+
+/// \brief Per-operation retry loop state (attempt counter + backoff RNG).
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy, uint64_t salt = 0);
+
+  /// True while the budget allows another attempt for this failure.
+  bool ShouldRetry(const Status& last) const;
+
+  /// Sleeps the next backoff delay. Fails fast — without sleeping the full
+  /// delay — when `control` is cancelled or the remaining deadline is
+  /// shorter than the delay (kTimeout), so a dying query never sits in
+  /// backoff.
+  Status Backoff(const QueryControlPtr& control);
+
+  int attempts_used() const { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  int attempt_ = 1;  // the first attempt has been made when Backoff is hit
+  double next_delay_;
+  uint64_t rng_state_;
+};
+
+/// \brief Wire/recovery observability: how often the failure machinery ran.
+///
+/// One instance lives in the Middleware and is shared (by pointer) with the
+/// transfer operators and the temp-table janitor; all fields are atomic
+/// because TRANSFER^M retries can fire on prefetch threads.
+struct RecoveryCounters {
+  std::atomic<uint64_t> tm_retries{0};
+  std::atomic<uint64_t> td_retries{0};
+  std::atomic<uint64_t> drop_retries{0};
+  std::atomic<uint64_t> temp_tables_dropped{0};
+  std::atomic<uint64_t> temp_table_drop_failures{0};
+  std::atomic<uint64_t> temp_tables_leaked{0};
+  std::atomic<uint64_t> orphans_swept{0};
+  std::atomic<uint64_t> downgrades{0};
+
+  uint64_t transfer_retries() const {
+    return tm_retries.load() + td_retries.load();
+  }
+};
+
+}  // namespace tango
+
+#endif  // TANGO_COMMON_RETRY_H_

@@ -23,6 +23,12 @@ const char* CodeName(StatusCode code) {
       return "Internal error";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -21,7 +21,23 @@ enum class StatusCode {
   kNotSupported,
   kInternal,
   kIOError,
+  // Transient environment failures (the middleware/DBMS boundary can
+  // misbehave): the operation did not succeed but the query is not broken —
+  // callers may retry (kUnavailable, kAborted) or must give up cleanly
+  // because the query's deadline passed (kTimeout).
+  kUnavailable,
+  kTimeout,
+  kAborted,
 };
+
+/// True for the environment-failure codes a caller may see when the wire,
+/// the DBMS, or the query's own deadline misbehaved — as opposed to a bug
+/// (kInternal) or a bad query. A clean failure of a fault-injected run must
+/// carry one of these codes.
+inline bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+         code == StatusCode::kAborted;
+}
 
 /// \brief Result of an operation that can fail.
 ///
@@ -58,8 +74,18 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsTransient() const { return IsTransientCode(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 

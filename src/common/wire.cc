@@ -1,10 +1,70 @@
 #include "common/wire.h"
 
+#include <algorithm>
+
 namespace tango {
 
 namespace {
 enum WireTag : uint8_t { kTagNull = 0, kTagInt = 1, kTagDouble = 2, kTagString = 3 };
+
+struct Crc32TableHolder {
+  uint32_t entries[256];
+  Crc32TableHolder() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+const uint32_t* Crc32Table() {
+  static const Crc32TableHolder holder;
+  return holder.entries;
+}
 }  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> WireFrame::Seal(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  const auto put_u32 = [&out](uint32_t v) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    out.insert(out.end(), p, p + 4);
+  };
+  put_u32(len);
+  put_u32(crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status WireFrame::Check(const std::vector<uint8_t>& framed,
+                        const uint8_t** payload, size_t* len) {
+  if (framed.size() < kHeaderBytes) {
+    return Status::IOError("wire frame truncated: no header");
+  }
+  uint32_t declared, crc;
+  std::memcpy(&declared, framed.data(), 4);
+  std::memcpy(&crc, framed.data() + 4, 4);
+  if (framed.size() - kHeaderBytes != declared) {
+    return Status::IOError("wire frame truncated: payload length mismatch");
+  }
+  const uint8_t* body = framed.data() + kHeaderBytes;
+  if (Crc32(body, declared) != crc) {
+    return Status::IOError("wire frame corrupt: checksum mismatch");
+  }
+  *payload = body;
+  *len = declared;
+  return Status::OK();
+}
 
 void WireWriter::PutValue(const Value& v) {
   if (v.is_null()) {
@@ -88,7 +148,9 @@ Result<Value> WireReader::GetValue() {
 Result<Tuple> WireReader::GetTuple() {
   TANGO_ASSIGN_OR_RETURN(uint32_t n, GetU32());
   Tuple t;
-  t.reserve(n);
+  // A corrupted arity must not drive a huge up-front allocation; the loop
+  // below fails on buffer underrun long before a real tuple gets this wide.
+  t.reserve(std::min<uint32_t>(n, 1024));
   for (uint32_t i = 0; i < n; ++i) {
     TANGO_ASSIGN_OR_RETURN(Value v, GetValue());
     t.push_back(std::move(v));

@@ -41,6 +41,30 @@ class WireWriter {
   std::vector<uint8_t> buf_;
 };
 
+/// CRC-32 (polynomial 0xEDB88320) over `n` bytes. The per-batch frame
+/// checksum: CRC-32 detects every single-bit flip and every truncation, so
+/// a corrupted batch is always recognized at the client instead of decoding
+/// into garbage rows.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+/// \brief Batch framing for the simulated wire.
+///
+/// Every prefetch batch crosses the link as `[u32 payload_len][u32 crc32]
+/// [payload]`. `CheckFrame` validates length and checksum before any tuple
+/// is decoded; a failure means the link garbled the batch (or a fault was
+/// injected) and the statement should be re-issued — it is reported as a
+/// transient error by the connection layer, never as decoded data.
+struct WireFrame {
+  static constexpr size_t kHeaderBytes = 8;
+
+  /// Wraps `payload` in a frame (length prefix + CRC-32).
+  static std::vector<uint8_t> Seal(const std::vector<uint8_t>& payload);
+
+  /// Validates a frame; on success points `payload`/`len` into `framed`.
+  static Status Check(const std::vector<uint8_t>& framed,
+                      const uint8_t** payload, size_t* len);
+};
+
 /// \brief Decoder matching WireWriter.
 class WireReader {
  public:

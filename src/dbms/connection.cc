@@ -1,6 +1,7 @@
 #include "dbms/connection.h"
 
 #include <chrono>
+#include <thread>
 
 #include "common/wire.h"
 
@@ -10,19 +11,23 @@ namespace dbms {
 namespace {
 
 /// Client-side cursor over a server-side query: fetches `row_prefetch`
-/// tuples at a time, each batch genuinely serialized and deserialized
-/// through the wire codec with link pacing applied.
+/// tuples at a time, each batch genuinely serialized, CRC-framed, and
+/// deserialized through the wire codec with link pacing applied.
 class RemoteCursor : public Cursor {
  public:
-  RemoteCursor(Connection* conn, CursorPtr server_cursor, size_t prefetch)
+  RemoteCursor(Connection* conn, CursorPtr server_cursor, size_t prefetch,
+               QueryControlPtr control, bool faulted)
       : conn_(conn),
         server_(std::move(server_cursor)),
         prefetch_(prefetch == 0 ? 1 : prefetch),
-        schema_(server_->schema()) {}
+        schema_(server_->schema()),
+        control_(std::move(control)),
+        faulted_(faulted) {}
 
   Status Init() override {
     buffer_.clear();
     pos_ = 0;
+    batch_no_ = 0;
     server_done_ = false;
     return server_->Init();
   }
@@ -41,6 +46,8 @@ class RemoteCursor : public Cursor {
 
  private:
   Status FetchBatch() {
+    // A cancelled/expired query stops driving the wire at the next batch.
+    TANGO_RETURN_IF_ERROR(CheckControl(control_));
     // Per-batch wire lock: concurrent remote cursors (prefetch threads)
     // interleave batches instead of racing on the engine and counters.
     const auto wire = conn_->AcquireWire();
@@ -60,15 +67,50 @@ class RemoteCursor : public Cursor {
       ++n;
     }
     if (n == 0) return Status::OK();
-    // The batch crosses the link.
+    // The batch crosses the link, length- and CRC-framed.
+    std::vector<uint8_t> framed = WireFrame::Seal(writer.buffer());
+    const uint64_t batch_no = batch_no_++;
+    if (faulted_ && conn_->fault_injector() != nullptr) {
+      FaultInjector& injector = *conn_->fault_injector();
+      switch (injector.OnBatch(batch_no)) {
+        case FaultInjector::BatchFault::kKill:
+          faulted_ = false;
+          return Status::Unavailable("injected fault: cursor killed after " +
+                                     std::to_string(batch_no) + " batches");
+        case FaultInjector::BatchFault::kTruncate:
+          faulted_ = false;
+          framed.resize(injector.NextSalt() % framed.size());
+          break;
+        case FaultInjector::BatchFault::kCorrupt:
+          faulted_ = false;
+          framed[(injector.NextSalt() / 8) % framed.size()] ^=
+              static_cast<uint8_t>(1u << (injector.NextSalt() % 8));
+          break;
+        case FaultInjector::BatchFault::kNone:
+          break;
+      }
+    }
     conn_->PaceBatch();
-    conn_->PaceBytes(writer.size());
-    // Client side: deserialize.
-    WireReader reader(writer.buffer());
+    conn_->PaceBytes(framed.size());
+    // Client side: verify the frame, then deserialize. Any damage — real or
+    // injected — surfaces as a transient link failure, never as garbled
+    // rows reaching an operator.
+    const uint8_t* payload = nullptr;
+    size_t len = 0;
+    Status frame = WireFrame::Check(framed, &payload, &len);
+    if (!frame.ok()) {
+      return Status::Unavailable("prefetch batch garbled on the wire: " +
+                                 frame.message());
+    }
+    WireReader reader(payload, len);
     buffer_.reserve(n);
     while (!reader.AtEnd()) {
-      TANGO_ASSIGN_OR_RETURN(Tuple row, reader.GetTuple());
-      buffer_.push_back(std::move(row));
+      Result<Tuple> row = reader.GetTuple();
+      if (!row.ok()) {
+        return Status::Unavailable("prefetch batch undecodable: " +
+                                   row.status().message());
+      }
+      buffer_.push_back(row.MoveValueOrDie());
     }
     return Status::OK();
   }
@@ -77,8 +119,11 @@ class RemoteCursor : public Cursor {
   CursorPtr server_;
   size_t prefetch_;
   Schema schema_;
+  QueryControlPtr control_;
+  bool faulted_;
   std::vector<Tuple> buffer_;
   size_t pos_ = 0;
+  uint64_t batch_no_ = 0;
   bool server_done_ = false;
 };
 
@@ -110,10 +155,45 @@ void Connection::PaceBatch() {
   Spin(config_.per_batch_seconds);
 }
 
-Result<QueryResult> Connection::Execute(const std::string& sql) {
-  const auto wire = AcquireWire();
+Status Connection::StatementGate(const std::string& sql,
+                                 const QueryControlPtr& control,
+                                 bool* fault_result_cursor) {
+  TANGO_RETURN_IF_ERROR(CheckControl(control));
+  if (fault_ != nullptr) {
+    FaultInjector::StatementDecision decision = fault_->OnStatement(sql);
+    if (decision.extra_latency_seconds > 0) {
+      // An injected stall is real wall-clock time (independent of
+      // simulate_delay), polled so a deadline fires mid-spike rather than
+      // after it.
+      const auto spike_end =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::duration<double>(decision.extra_latency_seconds));
+      while (std::chrono::steady_clock::now() < spike_end) {
+        TANGO_RETURN_IF_ERROR(CheckControl(control));
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      TANGO_RETURN_IF_ERROR(CheckControl(control));
+    }
+    if (!decision.inject.ok()) {
+      // The failed round trip still crossed the wire.
+      PaceRoundTrip();
+      counters_.bytes_to_server += sql.size();
+      return decision.inject;
+    }
+    if (fault_result_cursor != nullptr) {
+      *fault_result_cursor = decision.fault_result_cursor;
+    }
+  }
   PaceRoundTrip();
   counters_.bytes_to_server += sql.size();
+  return Status::OK();
+}
+
+Result<QueryResult> Connection::Execute(const std::string& sql,
+                                        const QueryControlPtr& control) {
+  const auto wire = AcquireWire();
+  TANGO_RETURN_IF_ERROR(StatementGate(sql, control, nullptr));
   TANGO_ASSIGN_OR_RETURN(QueryResult result, engine_->Execute(sql));
   // The whole result set crosses the wire.
   if (!result.rows.empty()) {
@@ -126,19 +206,21 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
   return result;
 }
 
-Result<CursorPtr> Connection::ExecuteQuery(const std::string& sql) {
+Result<CursorPtr> Connection::ExecuteQuery(const std::string& sql,
+                                           const QueryControlPtr& control) {
   const auto wire = AcquireWire();
-  PaceRoundTrip();
-  counters_.bytes_to_server += sql.size();
+  bool faulted = false;
+  TANGO_RETURN_IF_ERROR(StatementGate(sql, control, &faulted));
   TANGO_ASSIGN_OR_RETURN(CursorPtr server, engine_->OpenQuery(sql));
-  return CursorPtr(
-      std::make_unique<RemoteCursor>(this, std::move(server), config_.row_prefetch));
+  return CursorPtr(std::make_unique<RemoteCursor>(
+      this, std::move(server), config_.row_prefetch, control, faulted));
 }
 
 Status Connection::BulkLoad(const std::string& table,
-                            const std::vector<Tuple>& rows) {
+                            const std::vector<Tuple>& rows,
+                            const QueryControlPtr& control) {
   const auto wire = AcquireWire();
-  PaceRoundTrip();
+  TANGO_RETURN_IF_ERROR(StatementGate("BULKLOAD " + table, control, nullptr));
   // Client side serializes everything (the SQL*Loader data file)...
   WireWriter writer;
   for (const Tuple& t : rows) writer.PutTuple(t);
@@ -156,7 +238,8 @@ Status Connection::BulkLoad(const std::string& table,
 }
 
 Status Connection::InsertLoad(const std::string& table,
-                              const std::vector<Tuple>& rows) {
+                              const std::vector<Tuple>& rows,
+                              const QueryControlPtr& control) {
   // One INSERT statement (round trip) per tuple — the paper's "inefficient
   // for large amounts of data" alternative.
   for (const Tuple& t : rows) {
@@ -167,8 +250,7 @@ Status Connection::InsertLoad(const std::string& table,
     }
     sql += ")";
     const auto wire = AcquireWire();
-    PaceRoundTrip();
-    counters_.bytes_to_server += sql.size();
+    TANGO_RETURN_IF_ERROR(StatementGate(sql, control, nullptr));
     TANGO_RETURN_IF_ERROR(engine_->Execute(sql).status());
   }
   return Status::OK();
@@ -186,6 +268,17 @@ Result<Schema> Connection::GetTableSchema(const std::string& table) {
   PaceRoundTrip();
   TANGO_ASSIGN_OR_RETURN(const Table* t, engine_->catalog().GetTable(table));
   return t->schema();
+}
+
+Result<std::vector<std::string>> Connection::ListTables(
+    const std::string& prefix) {
+  const auto wire = AcquireWire();
+  PaceRoundTrip();
+  std::vector<std::string> names;
+  for (const std::string& name : engine_->catalog().TableNames()) {
+    if (name.rfind(prefix, 0) == 0) names.push_back(name);
+  }
+  return names;
 }
 
 }  // namespace dbms

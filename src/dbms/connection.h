@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/cursor.h"
 #include "dbms/engine.h"
+#include "dbms/fault.h"
 
 namespace tango {
 namespace dbms {
@@ -45,6 +47,13 @@ struct WireCounters {
 
 /// \brief Client-side connection to the DBMS — the only door the middleware
 /// may use (mirrors a JDBC connection).
+///
+/// Every operation takes an optional `QueryControl`: a cancelled or expired
+/// query fails fast at the next statement or prefetch batch instead of
+/// continuing to drive the wire. An attached `FaultInjector` (tests, chaos
+/// runs) is consulted at the same boundaries; prefetch batches additionally
+/// cross the link CRC-framed, so an injected (or real) truncation/bit-flip
+/// surfaces as a transient `kUnavailable` — never as garbled rows.
 class Connection {
  public:
   explicit Connection(Engine* engine, WireConfig config = WireConfig())
@@ -55,25 +64,40 @@ class Connection {
   const WireCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = WireCounters(); }
 
+  /// Attaches the failure model consulted at every statement/batch; null
+  /// detaches it.
+  void set_fault_injector(FaultInjectorPtr injector) {
+    fault_ = std::move(injector);
+  }
+  const FaultInjectorPtr& fault_injector() const { return fault_; }
+
   /// Executes a statement and transfers the full result over the wire.
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryControlPtr& control = nullptr);
 
   /// Opens a server-side cursor; rows cross the wire in prefetch batches as
   /// the returned cursor is drained (this is `TRANSFER^M`'s engine).
-  Result<CursorPtr> ExecuteQuery(const std::string& sql);
+  Result<CursorPtr> ExecuteQuery(const std::string& sql,
+                                 const QueryControlPtr& control = nullptr);
 
   /// Direct-path load into an existing table (the SQL*Loader stand-in used
   /// by `TRANSFER^D`); rows are serialized across the wire.
-  Status BulkLoad(const std::string& table, const std::vector<Tuple>& rows);
+  Status BulkLoad(const std::string& table, const std::vector<Tuple>& rows,
+                  const QueryControlPtr& control = nullptr);
 
   /// Row-at-a-time INSERT load — the inefficient alternative the paper
   /// mentions; kept for the bulk-load-vs-INSERT experiment.
-  Status InsertLoad(const std::string& table, const std::vector<Tuple>& rows);
+  Status InsertLoad(const std::string& table, const std::vector<Tuple>& rows,
+                    const QueryControlPtr& control = nullptr);
 
   /// Catalog statistics for the middleware's Statistics Collector; costs one
   /// round trip (the stats relations are tiny).
   Result<TableStats> GetTableStats(const std::string& table);
   Result<Schema> GetTableSchema(const std::string& table);
+
+  /// Table names starting with `prefix` (one round trip against the catalog
+  /// views); the temp-table janitor's orphan scan.
+  Result<std::vector<std::string>> ListTables(const std::string& prefix);
 
   /// Applies pacing for `bytes` crossing the link (used internally and by
   /// the remote cursor). Callers must hold the wire lock.
@@ -93,9 +117,17 @@ class Connection {
  private:
   void Spin(double seconds);
 
+  /// Statement-boundary gate: polls `control`, consults the fault injector
+  /// (applying any injected latency, which itself respects the deadline),
+  /// and paces the round trip. On a non-OK return the statement was not
+  /// executed. Must be called with the wire lock held.
+  Status StatementGate(const std::string& sql, const QueryControlPtr& control,
+                       bool* fault_result_cursor);
+
   Engine* engine_;
   WireConfig config_;
   WireCounters counters_;
+  FaultInjectorPtr fault_;
   std::mutex wire_mu_;
 };
 

@@ -1,0 +1,110 @@
+#include "dbms/fault.h"
+
+namespace tango {
+namespace dbms {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kStatementFail:
+      return "statement-fail";
+    case FaultKind::kCursorKill:
+      return "cursor-kill";
+    case FaultKind::kWireTruncate:
+      return "wire-truncate";
+    case FaultKind::kWireCorrupt:
+      return "wire-corrupt";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  statements_ = 0;
+  fired_ = 0;
+  salt_state_ = plan_.seed;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = FaultPlan();
+}
+
+uint64_t FaultInjector::statements_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return statements_;
+}
+
+uint64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_fired_;
+}
+
+FaultInjector::StatementDecision FaultInjector::OnStatement(
+    const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t index = statements_++;
+  StatementDecision decision;
+  if (!ArmedLocked() || index < plan_.statement_index) return decision;
+  if (!plan_.sql_substring.empty() &&
+      sql.find(plan_.sql_substring) == std::string::npos) {
+    return decision;
+  }
+  switch (plan_.kind) {
+    case FaultKind::kStatementFail:
+      ++fired_;
+      ++total_fired_;
+      decision.inject = Status::Unavailable(
+          "injected fault: statement " + std::to_string(index) + " failed");
+      break;
+    case FaultKind::kLatencySpike:
+      ++fired_;
+      ++total_fired_;
+      decision.extra_latency_seconds = plan_.latency_seconds;
+      break;
+    case FaultKind::kCursorKill:
+    case FaultKind::kWireTruncate:
+    case FaultKind::kWireCorrupt:
+      // The firing is charged when the batch fault actually happens.
+      decision.fault_result_cursor = true;
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return decision;
+}
+
+FaultInjector::BatchFault FaultInjector::OnBatch(uint64_t batch_no) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ArmedLocked() || batch_no < plan_.batch_index) return BatchFault::kNone;
+  ++fired_;
+  ++total_fired_;
+  switch (plan_.kind) {
+    case FaultKind::kCursorKill:
+      return BatchFault::kKill;
+    case FaultKind::kWireTruncate:
+      return BatchFault::kTruncate;
+    case FaultKind::kWireCorrupt:
+      return BatchFault::kCorrupt;
+    default:
+      // The cursor was marked faultable but the plan changed since; undo.
+      --fired_;
+      --total_fired_;
+      return BatchFault::kNone;
+  }
+}
+
+uint64_t FaultInjector::NextSalt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t z = (salt_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dbms
+}  // namespace tango

@@ -73,6 +73,12 @@ class InstrumentedCursor : public Cursor {
     }
   }
 
+  /// Destroying the inner cursor joins any worker threads that may still be
+  /// inside the recorder lambda (which locks mu_ and captures this), so it
+  /// must happen before the remaining members are torn down — the implicit
+  /// destructor would destroy mu_ first (reverse declaration order).
+  ~InstrumentedCursor() override { inner_.reset(); }
+
   size_t id() const { return id_; }
 
   Status Init() override {

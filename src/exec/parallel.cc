@@ -387,11 +387,12 @@ Result<bool> ParallelTemporalJoinCursor::Next(Tuple* tuple) {
 // ---------------------------------------------------------------------------
 
 PrefetchCursor::PrefetchCursor(CursorPtr inner, size_t batch_rows,
-                               size_t max_batches)
+                               size_t max_batches, QueryControlPtr control)
     : inner_(std::move(inner)),
       schema_(inner_->schema()),
       batch_rows_(batch_rows == 0 ? 1 : batch_rows),
-      max_batches_(max_batches == 0 ? 1 : max_batches) {}
+      max_batches_(max_batches == 0 ? 1 : max_batches),
+      control_(std::move(control)) {}
 
 PrefetchCursor::~PrefetchCursor() { StopProducer(); }
 
@@ -425,15 +426,27 @@ void PrefetchCursor::ProducerLoop() {
   const auto started = Clock::now();
   double active_seconds = 0;
 
+  // kConsumerGone: the consumer tore the cursor down — exit silently (it
+  // will never read again). kControlDead: the query was cancelled or timed
+  // out — finish normally with the control's status so a consumer that IS
+  // still reading sees a clean transient error.
+  enum class PushOutcome { kPushed, kConsumerGone, kControlDead };
   auto push = [this](std::vector<Tuple> rows) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this]() {
-      return cancel_ || queue_.size() < max_batches_;
-    });
-    if (cancel_) return false;
+    while (true) {
+      if (cancel_) return PushOutcome::kConsumerGone;
+      if (control_ != nullptr &&
+          (control_->cancelled() || control_->expired())) {
+        return PushOutcome::kControlDead;
+      }
+      if (queue_.size() < max_batches_) break;
+      // Bounded wait: a dying query must unblock this thread even if the
+      // consumer never drains another batch.
+      not_full_.wait_for(lock, std::chrono::milliseconds(5));
+    }
     queue_.push_back(std::move(rows));
     not_empty_.notify_one();
-    return true;
+    return PushOutcome::kPushed;
   };
 
   Status status = inner_->Init();
@@ -451,12 +464,21 @@ void PrefetchCursor::ProducerLoop() {
       batch.push_back(std::move(t));
       if (batch.size() >= batch_rows_) {
         active_seconds = SecondsSince(started);
-        if (!push(std::move(batch))) return;  // consumer gone
+        const PushOutcome out = push(std::move(batch));
+        if (out == PushOutcome::kConsumerGone) return;
+        if (out == PushOutcome::kControlDead) {
+          status = CheckControl(control_);
+          break;
+        }
         batch = {};
         batch.reserve(batch_rows_);
       }
     }
-    if (status.ok() && !batch.empty() && !push(std::move(batch))) return;
+    if (status.ok() && !batch.empty()) {
+      const PushOutcome out = push(std::move(batch));
+      if (out == PushOutcome::kConsumerGone) return;
+      if (out == PushOutcome::kControlDead) status = CheckControl(control_);
+    }
   }
 
   active_seconds = SecondsSince(started);
@@ -477,7 +499,14 @@ Result<bool> PrefetchCursor::Next(Tuple* tuple) {
       return true;
     }
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this]() { return finished_ || !queue_.empty(); });
+    while (!finished_ && queue_.empty()) {
+      if (control_ != nullptr) {
+        // A dying query unblocks the consumer even if the producer is
+        // wedged inside a wire wait; the producer is joined at teardown.
+        TANGO_RETURN_IF_ERROR(control_->Check());
+      }
+      not_empty_.wait_for(lock, std::chrono::milliseconds(5));
+    }
     if (!queue_.empty()) {
       batch_ = std::move(queue_.front());
       queue_.pop_front();

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/cursor.h"
 #include "common/thread_pool.h"
 #include "exec/instrument.h"
@@ -147,10 +148,15 @@ class ParallelTemporalJoinCursor : public Cursor, public WorkerTimedCursor {
 /// (typically TRANSFER^M — wire pacing plus chunk decoding) ahead of the
 /// consumer through a bounded SPSC batch queue, overlapping the transfer
 /// with the middleware operators above it.
+///
+/// Both sides watch `control`: a cancelled or expired query unblocks the
+/// producer even when the queue is full and the consumer even when the
+/// queue is empty, so teardown can never deadlock on the SPSC handshake.
 class PrefetchCursor : public Cursor, public WorkerTimedCursor {
  public:
   explicit PrefetchCursor(CursorPtr inner, size_t batch_rows = 256,
-                          size_t max_batches = 4);
+                          size_t max_batches = 4,
+                          QueryControlPtr control = nullptr);
   ~PrefetchCursor() override;
 
   PrefetchCursor(const PrefetchCursor&) = delete;
@@ -174,6 +180,7 @@ class PrefetchCursor : public Cursor, public WorkerTimedCursor {
   Schema schema_;  // copied so schema() never races with the producer
   size_t batch_rows_;
   size_t max_batches_;
+  QueryControlPtr control_;
   WorkerTimeRecorder recorder_;
 
   std::thread producer_;

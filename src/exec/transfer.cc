@@ -3,34 +3,39 @@
 namespace tango {
 namespace exec {
 
+namespace {
+
+/// Rows between control polls while draining middleware-side cursors.
+constexpr size_t kControlPollStride = 1024;
+
+/// Labels a transient failure with the operator that exhausted its budget
+/// on it, so the middleware's degradation logic can tell a failed T^M from
+/// a failed T^D. Non-transient failures pass through untouched.
+Status TagTransient(const Status& s, const char* op, const std::string& what) {
+  if (s.ok() || !s.IsTransient()) return s;
+  return Status(s.code(), std::string(op) + " " + what + ": " + s.message());
+}
+
+}  // namespace
+
 TransferMCursor::TransferMCursor(dbms::Connection* conn, std::string sql,
                                  Schema schema,
                                  std::vector<CursorPtr> dependencies,
-                                 std::shared_ptr<TransferCache> cache)
+                                 std::shared_ptr<TransferCache> cache,
+                                 QueryControlPtr control, RetryPolicy retry,
+                                 RecoveryCounters* counters)
     : conn_(conn),
       sql_(std::move(sql)),
       schema_(std::move(schema)),
       dependencies_(std::move(dependencies)),
-      cache_(std::move(cache)) {}
+      cache_(std::move(cache)),
+      control_(std::move(control)),
+      policy_(retry),
+      counters_(counters) {}
 
-Status TransferMCursor::Init() {
-  // Execute dependencies first (TRANSFER^D loads happen in their Init).
-  for (const CursorPtr& dep : dependencies_) {
-    TANGO_RETURN_IF_ERROR(dep->Init());
-    Tuple t;
-    while (true) {
-      TANGO_ASSIGN_OR_RETURN(bool more, dep->Next(&t));
-      if (!more) break;
-    }
-  }
-  cached_rows_ = nullptr;
-  cached_pos_ = 0;
-  // §7 refinement: identical statements within one plan transfer once.
-  if (cache_ != nullptr) {
-    cached_rows_ = cache_->Get(sql_);
-    if (cached_rows_ != nullptr) return Status::OK();
-  }
-  TANGO_ASSIGN_OR_RETURN(remote_, conn_->ExecuteQuery(sql_));
+Status TransferMCursor::TryOpen(size_t skip) {
+  remote_.reset();
+  TANGO_ASSIGN_OR_RETURN(remote_, conn_->ExecuteQuery(sql_, control_));
   TANGO_RETURN_IF_ERROR(remote_->Init());
   if (remote_->schema().num_columns() != schema_.num_columns()) {
     return Status::Internal("TRANSFER^M schema arity mismatch: SQL \"" + sql_ +
@@ -39,13 +44,74 @@ Status TransferMCursor::Init() {
                             " columns, plan expected " +
                             std::to_string(schema_.num_columns()));
   }
+  // Reposition past rows already delivered downstream: the engine is
+  // deterministic, so the re-issued SELECT reproduces the same sequence.
+  Tuple t;
+  for (size_t i = 0; i < skip; ++i) {
+    TANGO_ASSIGN_OR_RETURN(bool more, remote_->Next(&t));
+    if (!more) {
+      return Status::Internal(
+          "TRANSFER^M retry could not reposition: re-issued \"" + sql_ +
+          "\" returned fewer rows than already delivered");
+    }
+  }
+  return Status::OK();
+}
+
+Status TransferMCursor::Restore(size_t skip) {
+  while (true) {
+    Status s = TryOpen(skip);
+    if (s.ok()) return s;
+    if (!retry_->ShouldRetry(s)) return TagTransient(s, "TRANSFER^M", sql_);
+    if (counters_ != nullptr) ++counters_->tm_retries;
+    TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+  }
+}
+
+Status TransferMCursor::Init() {
+  // Execute dependencies first (TRANSFER^D loads happen in their Init).
+  for (const CursorPtr& dep : dependencies_) {
+    TANGO_RETURN_IF_ERROR(dep->Init());
+    Tuple t;
+    size_t drained = 0;
+    while (true) {
+      TANGO_ASSIGN_OR_RETURN(bool more, dep->Next(&t));
+      if (!more) break;
+      if (++drained % kControlPollStride == 0) {
+        TANGO_RETURN_IF_ERROR(CheckControl(control_));
+      }
+    }
+  }
+  cached_rows_ = nullptr;
+  cached_pos_ = 0;
+  delivered_ = 0;
+  // One retry budget for the cursor's whole open + drain.
+  retry_ = std::make_unique<RetryState>(policy_);
+  // §7 refinement: identical statements within one plan transfer once.
+  if (cache_ != nullptr) {
+    cached_rows_ = cache_->Get(sql_);
+    if (cached_rows_ != nullptr) return Status::OK();
+  }
+  TANGO_RETURN_IF_ERROR(Restore(0));
   if (cache_ != nullptr && cache_->IsShared(sql_)) {
-    // Materialize once; this and every later occurrence serve locally.
+    // Materialize once; this and every later occurrence serve locally. The
+    // cache is only written after a complete drain — a transfer dying
+    // mid-materialization (even past its retry budget) leaves no partial
+    // result behind for the other occurrences.
     std::vector<Tuple> rows;
     Tuple t;
     while (true) {
-      TANGO_ASSIGN_OR_RETURN(bool more, remote_->Next(&t));
-      if (!more) break;
+      Result<bool> more = remote_->Next(&t);
+      if (!more.ok()) {
+        if (!retry_->ShouldRetry(more.status())) {
+          return TagTransient(more.status(), "TRANSFER^M", sql_);
+        }
+        if (counters_ != nullptr) ++counters_->tm_retries;
+        TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+        TANGO_RETURN_IF_ERROR(Restore(rows.size()));
+        continue;
+      }
+      if (!more.ValueOrDie()) break;
       rows.push_back(std::move(t));
     }
     remote_.reset();
@@ -61,20 +127,47 @@ Result<bool> TransferMCursor::Next(Tuple* tuple) {
     *tuple = (*cached_rows_)[cached_pos_++];
     return true;
   }
-  return remote_->Next(tuple);
+  while (true) {
+    Result<bool> r = remote_->Next(tuple);
+    if (r.ok()) {
+      if (r.ValueOrDie()) ++delivered_;
+      return r;
+    }
+    if (!retry_->ShouldRetry(r.status())) {
+      return TagTransient(r.status(), "TRANSFER^M", sql_);
+    }
+    if (counters_ != nullptr) ++counters_->tm_retries;
+    TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+    TANGO_RETURN_IF_ERROR(Restore(delivered_));
+  }
 }
 
 TransferDCursor::TransferDCursor(dbms::Connection* conn,
                                  std::string table_name,
                                  std::vector<std::string> columns,
-                                 CursorPtr child)
+                                 CursorPtr child, QueryControlPtr control,
+                                 RetryPolicy retry, RecoveryCounters* counters)
     : conn_(conn),
       table_name_(std::move(table_name)),
       columns_(std::move(columns)),
-      child_(std::move(child)) {}
+      child_(std::move(child)),
+      control_(std::move(control)),
+      policy_(retry),
+      counters_(counters) {}
+
+Status TransferDCursor::AttemptLoad(bool drop_first, const std::string& ddl,
+                                    const std::vector<Tuple>& rows) {
+  if (drop_first) {
+    // Remove whatever the failed attempt left behind (half-created table,
+    // partial load). A missing table is fine — the drop is idempotent.
+    Status drop = conn_->Execute("DROP TABLE " + table_name_, control_).status();
+    if (!drop.ok() && drop.code() != StatusCode::kNotFound) return drop;
+  }
+  TANGO_RETURN_IF_ERROR(conn_->Execute(ddl, control_).status());
+  return conn_->BulkLoad(table_name_, rows, control_);
+}
 
 Status TransferDCursor::Init() {
-  // CREATE TABLE with the argument's schema.
   const Schema& in = child_->schema();
   if (columns_.size() != in.num_columns()) {
     return Status::Internal("TRANSFER^D column name count mismatch");
@@ -87,9 +180,11 @@ Status TransferDCursor::Init() {
     ddl += DataTypeName(in.column(i).type);
   }
   ddl += ")";
-  TANGO_RETURN_IF_ERROR(conn_->Execute(ddl).status());
 
-  // Drain the argument and direct-path load it.
+  // Drain the argument first: buffering the rows before any DBMS statement
+  // means a transient failure only ever interrupts the CREATE/load pair,
+  // which a retry can redo from the buffer without re-running the
+  // middleware subtree.
   TANGO_RETURN_IF_ERROR(child_->Init());
   std::vector<Tuple> rows;
   Tuple t;
@@ -97,9 +192,21 @@ Status TransferDCursor::Init() {
     TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
     if (!more) break;
     rows.push_back(std::move(t));
+    if (rows.size() % kControlPollStride == 0) {
+      TANGO_RETURN_IF_ERROR(CheckControl(control_));
+    }
   }
   rows_loaded_ = rows.size();
-  return conn_->BulkLoad(table_name_, rows);
+
+  RetryState retry(policy_);
+  Status s = AttemptLoad(/*drop_first=*/false, ddl, rows);
+  while (!s.ok()) {
+    if (!retry.ShouldRetry(s)) return TagTransient(s, "TRANSFER^D", table_name_);
+    if (counters_ != nullptr) ++counters_->td_retries;
+    TANGO_RETURN_IF_ERROR(retry.Backoff(control_));
+    s = AttemptLoad(/*drop_first=*/true, ddl, rows);
+  }
+  return Status::OK();
 }
 
 Result<bool> TransferDCursor::Next(Tuple* tuple) {

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/cursor.h"
+#include "common/retry.h"
 #include "dbms/connection.h"
 
 namespace tango {
@@ -23,6 +25,9 @@ namespace exec {
 /// marks SQL statements that occur more than once in a plan; the first
 /// TRANSFER^M to execute such a statement materializes the rows here, and
 /// later occurrences are served locally without a second round trip.
+/// Only complete result sets are ever stored: a transfer that fails
+/// mid-materialization (even after exhausting retries) must not poison the
+/// cache with a partial result for the other occurrences.
 /// Thread-safe: with the parallel transfer drain, TRANSFER^M cursors of one
 /// plan run their Inits on different prefetch threads concurrently.
 class TransferCache {
@@ -56,11 +61,22 @@ class TransferCache {
 /// `dependencies` are cursors that must be fully executed before the SELECT
 /// is issued — the dashed "algorithm sequence" arrows of Figure 5: a
 /// TRANSFER^D that loads a temporary the SELECT reads from.
+///
+/// Transient wire/DBMS failures (kUnavailable/kAborted) are retried under
+/// `retry`: the SELECT is idempotent and the engine deterministic, so the
+/// statement is simply re-issued and rows already delivered downstream are
+/// skipped before streaming resumes. One retry budget covers the cursor's
+/// whole lifetime (open + drain); when it is exhausted the last transient
+/// failure is returned tagged "TRANSFER^M" so the middleware can pick the
+/// right degraded plan.
 class TransferMCursor : public Cursor {
  public:
   TransferMCursor(dbms::Connection* conn, std::string sql, Schema schema,
                   std::vector<CursorPtr> dependencies = {},
-                  std::shared_ptr<TransferCache> cache = nullptr);
+                  std::shared_ptr<TransferCache> cache = nullptr,
+                  QueryControlPtr control = nullptr,
+                  RetryPolicy retry = RetryPolicy(),
+                  RecoveryCounters* counters = nullptr);
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
@@ -69,12 +85,24 @@ class TransferMCursor : public Cursor {
   const std::string& sql() const { return sql_; }
 
  private:
+  /// One attempt: (re)issue the SELECT and skip `skip` already-delivered
+  /// rows. Non-OK means the attempt failed (possibly transiently).
+  Status TryOpen(size_t skip);
+  /// Retry loop around TryOpen; consumes attempts from retry_ until open
+  /// succeeds, the budget is exhausted, or the failure is not retryable.
+  Status Restore(size_t skip);
+
   dbms::Connection* conn_;
   std::string sql_;
   Schema schema_;
   std::vector<CursorPtr> dependencies_;
   std::shared_ptr<TransferCache> cache_;
+  QueryControlPtr control_;
+  RetryPolicy policy_;
+  RecoveryCounters* counters_;
+  std::unique_ptr<RetryState> retry_;
   CursorPtr remote_;
+  size_t delivered_ = 0;
   // Set when serving from (or populating) the shared cache.
   std::shared_ptr<const std::vector<Tuple>> cached_rows_;
   size_t cached_pos_ = 0;
@@ -88,12 +116,22 @@ class TransferMCursor : public Cursor {
 /// The table is created with an exact-size extent and no free space — the
 /// write-once optimizations of §3.2 — and must be dropped when the query
 /// ends (the execution engine does this).
+///
+/// The argument is drained (middleware side) before any DBMS statement, so
+/// a transient failure only ever interrupts the CREATE/load pair; a retry
+/// then drops whatever half-created table the failed attempt left behind
+/// and recreates + reloads from the buffered rows — the load is made
+/// idempotent by construction. Exhausted-budget failures are tagged
+/// "TRANSFER^D" for the degradation logic.
 class TransferDCursor : public Cursor {
  public:
   /// `columns` are the (unique) column names for the created table, parallel
   /// to the child schema.
   TransferDCursor(dbms::Connection* conn, std::string table_name,
-                  std::vector<std::string> columns, CursorPtr child);
+                  std::vector<std::string> columns, CursorPtr child,
+                  QueryControlPtr control = nullptr,
+                  RetryPolicy retry = RetryPolicy(),
+                  RecoveryCounters* counters = nullptr);
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
@@ -104,10 +142,18 @@ class TransferDCursor : public Cursor {
   size_t rows_loaded() const { return rows_loaded_; }
 
  private:
+  /// One attempt at the DBMS side; `drop_first` makes a retry idempotent by
+  /// removing whatever the failed attempt left behind.
+  Status AttemptLoad(bool drop_first, const std::string& ddl,
+                     const std::vector<Tuple>& rows);
+
   dbms::Connection* conn_;
   std::string table_name_;
   std::vector<std::string> columns_;
   CursorPtr child_;
+  QueryControlPtr control_;
+  RetryPolicy policy_;
+  RecoveryCounters* counters_;
   size_t rows_loaded_ = 0;
 };
 

@@ -124,8 +124,14 @@ Result<PhysPlanPtr> Optimizer::FindBest(Memo* memo, size_t group,
   }
 
   // ---- enforcers ----
+  // Degraded-mode planning suppresses the enforcers that would move work to
+  // the forbidden site: no SORT^M under kDbmsOnly, no SORT^D under
+  // kMiddlewareOnly, and no TRANSFER^D under either (a restricted plan must
+  // not depend on the failing transfer direction). TRANSFER^M is always
+  // available — it is the only bridge to where the data lives.
+  const SiteRestriction restriction = options_.site_restriction;
   if (props.site == Site::kMiddleware) {
-    if (!props.order.empty()) {
+    if (!props.order.empty() && restriction != SiteRestriction::kDbmsOnly) {
       // SORT^M over the unordered middleware winner (rules T1-T3 introduce
       // these sorts in the paper; T10/T11 remove them when redundant, which
       // here corresponds to an element above already delivering the order).
@@ -157,7 +163,7 @@ Result<PhysPlanPtr> Optimizer::FindBest(Memo* memo, size_t group,
       }
     }
   } else {
-    if (!props.order.empty()) {
+    if (!props.order.empty() && restriction != SiteRestriction::kMiddlewareOnly) {
       // SORT^D at the top of a DBMS fragment (rendered as ORDER BY).
       PhysProps base{Site::kDbms, {}};
       TANGO_ASSIGN_OR_RETURN(PhysPlanPtr child,
@@ -169,7 +175,7 @@ Result<PhysPlanPtr> Optimizer::FindBest(Memo* memo, size_t group,
                           model_->SortD(g.stats.size(), g.stats.cardinality),
                           g, {child}));
       }
-    } else if (!no_transfer_d) {
+    } else if (!no_transfer_d && restriction == SiteRestriction::kNone) {
       // TRANSFER^D over the middleware winner; a loaded table carries no
       // order. The immediate T^M enforcer is suppressed below (rule T8).
       PhysProps inner{Site::kMiddleware, {}};
@@ -192,6 +198,17 @@ Result<PhysPlanPtr> Optimizer::FindBest(Memo* memo, size_t group,
 Result<PhysPlanPtr> Optimizer::PlanExpr(Memo* memo, size_t group,
                                         const MExpr& e,
                                         const PhysProps& props) {
+  // Degraded-mode planning: under kDbmsOnly no algorithm runs in the
+  // middleware (the T^M enforcer alone satisfies the root requirement);
+  // under kMiddlewareOnly the DBMS only scans base relations.
+  if (options_.site_restriction == SiteRestriction::kDbmsOnly &&
+      props.site == Site::kMiddleware) {
+    return PhysPlanPtr(nullptr);
+  }
+  if (options_.site_restriction == SiteRestriction::kMiddlewareOnly &&
+      props.site == Site::kDbms && e.op->kind != algebra::OpKind::kScan) {
+    return PhysPlanPtr(nullptr);
+  }
   const Group& g = memo->group(group);
   const auto child_stats = [&](size_t i) -> const stats::RelStats& {
     return memo->group(e.children[i]).stats;

@@ -12,6 +12,20 @@
 namespace tango {
 namespace optimizer {
 
+/// Confines processing to one site for degraded (fallback) plans.
+///
+/// When a transfer operator exhausts its retry budget at run time, the
+/// middleware re-plans the query under a restriction that avoids the failed
+/// transfer direction: kDbmsOnly is the paper's Figure 4a shape (everything
+/// in the DBMS, one T^M on top) and needs no T^D; kMiddlewareOnly pulls
+/// base relations up with T^M over plain scans and does all processing in
+/// the middleware, so no temp tables are created in the DBMS.
+enum class SiteRestriction {
+  kNone,
+  kDbmsOnly,
+  kMiddlewareOnly,
+};
+
 /// \brief TANGO's query optimizer: Volcano-style exploration of the memo
 /// followed by top-down physical planning with site and order properties.
 ///
@@ -29,6 +43,11 @@ class Optimizer {
     bool semantic_temporal_selectivity = true;
     /// Skip memo exploration (cost the initial plan's shape only).
     bool enable_exploration = true;
+    /// Confine processing to one site (degraded-mode planning). Queries
+    /// using middleware-only algorithms (COALESCE, temporal DIFFERENCE)
+    /// cannot be planned under kDbmsOnly; Optimize then fails cleanly and
+    /// the caller may try the other restriction.
+    SiteRestriction site_restriction = SiteRestriction::kNone;
   };
 
   explicit Optimizer(const cost::CostModel* model)

@@ -110,14 +110,15 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
   std::vector<CursorPtr> dependencies;
   std::vector<size_t> dep_ids;
   for (const PhysPlan* td : tds) {
-    const std::string name = "TANGO_TMP_" + std::to_string(++temp_counter_);
+    const std::string name = temp_prefix_ + std::to_string(++temp_counter_);
     td_tables[td] = name;
     out->temp_tables.push_back(name);
     size_t child_id = 0;
     TANGO_ASSIGN_OR_RETURN(CursorPtr child,
                            CompileNode(*td->children[0], out, &child_id));
     auto cursor = std::make_unique<exec::TransferDCursor>(
-        conn_, name, TempTableColumns(td->op->schema), std::move(child));
+        conn_, name, TempTableColumns(td->op->schema), std::move(child),
+        control_, retry_, counters_);
     size_t td_id = 0;
     dependencies.push_back(
         Instrument(std::move(cursor), *td, {child_id}, out, &td_id));
@@ -131,7 +132,7 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
 
   auto cursor = std::make_unique<exec::TransferMCursor>(
       conn_, rendered.sql, node.op->schema, std::move(dependencies),
-      out->transfer_cache);
+      out->transfer_cache, control_, retry_, counters_);
   CursorPtr instrumented =
       Instrument(std::move(cursor), node, dep_ids, out, timing_id);
   if (dop_ > 1) {
@@ -140,7 +141,8 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
     // (the TRANSFER^M entry keeps measuring the real transfer work, now on
     // the producer thread).
     return CursorPtr(std::make_unique<exec::PrefetchCursor>(
-        std::move(instrumented), conn_->config().row_prefetch));
+        std::move(instrumented), conn_->config().row_prefetch,
+        /*max_batches=*/4, control_));
   }
   return instrumented;
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "dbms/connection.h"
 #include "exec/instrument.h"
@@ -24,7 +26,6 @@ struct CompiledNode {
 /// fragments have been rendered to SQL, plus the temporary tables to drop
 /// when the query finishes.
 struct CompiledPlan {
-  CursorPtr root;
   std::shared_ptr<exec::TimingSink> timings;
   std::vector<std::string> temp_tables;
   std::vector<CompiledNode> nodes;
@@ -34,6 +35,12 @@ struct CompiledPlan {
   std::shared_ptr<exec::TransferCache> transfer_cache;
   /// Worker pool shared by the plan's parallel operators (null at DOP 1).
   common::ThreadPoolPtr pool;
+  /// Declared last on purpose: members destruct in reverse declaration
+  /// order, and destroying the cursor tree is what joins the plan's worker
+  /// threads (prefetch producers, pool tasks). On a cancelled/failed
+  /// execution those threads can still be recording into `timings` and
+  /// using `pool`/`transfer_cache`, so `root` must be destroyed first.
+  CursorPtr root;
 };
 
 /// \brief Builds the execution-ready plan from an optimized physical plan:
@@ -58,6 +65,23 @@ class PlanCompiler {
   /// variants.
   void set_dop(size_t dop) { dop_ = dop == 0 ? 1 : dop; }
 
+  /// Cancellation/deadline token threaded into every compiled transfer and
+  /// prefetch cursor (null = never cancelled).
+  void set_query_control(QueryControlPtr control) {
+    control_ = std::move(control);
+  }
+  /// Retry discipline for the transfer operators.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  /// Recovery observability shared with the transfer operators (may be
+  /// null; not owned).
+  void set_recovery_counters(RecoveryCounters* counters) {
+    counters_ = counters;
+  }
+  /// Name prefix for TRANSFER^D temporary tables. The middleware passes a
+  /// per-execution prefix so a table leaked by a crashed run can never
+  /// collide with a later query's temp names.
+  void set_temp_prefix(std::string prefix) { temp_prefix_ = std::move(prefix); }
+
   Result<CompiledPlan> Compile(const optimizer::PhysPlanPtr& plan);
 
   /// Column names used for a TRANSFER^D temporary table (unique-ified
@@ -79,6 +103,10 @@ class PlanCompiler {
   bool share_transfers_ = true;
   size_t sort_budget_ = 32 << 20;
   size_t dop_ = 1;
+  QueryControlPtr control_;
+  RetryPolicy retry_;
+  RecoveryCounters* counters_ = nullptr;
+  std::string temp_prefix_ = "TANGO_TMP_";
 };
 
 }  // namespace tango

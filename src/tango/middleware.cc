@@ -4,6 +4,75 @@
 
 namespace tango {
 
+namespace {
+
+/// \brief RAII janitor for one execution's temporary tables (§3.2: "the
+/// table must be dropped at the end of the query").
+///
+/// Drops happen in reverse creation order (later tables may only exist
+/// because earlier ones do), each drop is retried on transient failures,
+/// and every outcome is counted — a failed drop is a recorded leak, never a
+/// silent one. The guard ignores the query's own cancellation token:
+/// cleanup must run precisely when the query is dying.
+class TempTableGuard {
+ public:
+  TempTableGuard(dbms::Connection* conn, std::vector<std::string> tables,
+                 RetryPolicy policy, RecoveryCounters* counters)
+      : conn_(conn),
+        tables_(std::move(tables)),
+        policy_(policy),
+        counters_(counters) {}
+
+  ~TempTableGuard() { DropAll(); }
+
+  TempTableGuard(const TempTableGuard&) = delete;
+  TempTableGuard& operator=(const TempTableGuard&) = delete;
+
+  /// Idempotent; the destructor is only the backstop for early returns.
+  /// Returns the first permanent drop failure.
+  Status DropAll() {
+    if (done_) return first_failure_;
+    done_ = true;
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+      const Status s = DropOne(*it);
+      if (!s.ok() && first_failure_.ok()) first_failure_ = s;
+    }
+    return first_failure_;
+  }
+
+ private:
+  Status DropOne(const std::string& table) {
+    RetryState retry(policy_);
+    while (true) {
+      const Status s = conn_->Execute("DROP TABLE " + table).status();
+      if (s.ok()) {
+        ++counters_->temp_tables_dropped;
+        return Status::OK();
+      }
+      // Never created (the fault hit before its CREATE): nothing to leak.
+      if (s.code() == StatusCode::kNotFound) return Status::OK();
+      if (retry.ShouldRetry(s)) {
+        ++counters_->drop_retries;
+        if (retry.Backoff(nullptr).ok()) continue;
+      }
+      ++counters_->temp_table_drop_failures;
+      ++counters_->temp_tables_leaked;
+      return Status(s.code(),
+                    "temp table " + table + " could not be dropped: " +
+                        s.message());
+    }
+  }
+
+  dbms::Connection* conn_;
+  std::vector<std::string> tables_;
+  RetryPolicy policy_;
+  RecoveryCounters* counters_;
+  bool done_ = false;
+  Status first_failure_;
+};
+
+}  // namespace
+
 Status Middleware::CollectStatistics(const std::vector<std::string>& tables) {
   for (const std::string& t : tables) {
     TANGO_ASSIGN_OR_RETURN(dbms::TableStats raw,
@@ -45,9 +114,11 @@ Result<Middleware::Prepared> Middleware::Prepare(const std::string& tsql_text) {
 }
 
 Result<Middleware::Prepared> Middleware::PrepareLogical(
-    const algebra::OpPtr& initial_plan) {
+    const algebra::OpPtr& initial_plan,
+    optimizer::SiteRestriction restriction) {
   optimizer::Optimizer::Options opts;
   opts.semantic_temporal_selectivity = config_.semantic_temporal_selectivity;
+  opts.site_restriction = restriction;
   optimizer::Optimizer opt(&cost_model_, opts);
   opt.set_scan_stats_provider(
       [this](const std::string& table) -> Result<stats::RelStats> {
@@ -69,34 +140,108 @@ Result<Middleware::Prepared> Middleware::PrepareLogical(
   return prepared;
 }
 
-Result<Middleware::Execution> Middleware::Execute(
-    const optimizer::PhysPlanPtr& plan) {
+Result<Middleware::Execution> Middleware::ExecuteOnce(
+    const optimizer::PhysPlanPtr& plan, const QueryControlPtr& control) {
   PlanCompiler compiler(&connection_);
   compiler.set_share_common_transfers(config_.share_common_transfers);
   compiler.set_sort_memory_budget(config_.sort_memory_budget_bytes);
   compiler.set_dop(config_.dop);
+  compiler.set_query_control(control);
+  compiler.set_retry_policy(config_.retry);
+  compiler.set_recovery_counters(&recovery_);
+  compiler.set_temp_prefix("TANGO_TMP_" + std::to_string(++exec_seq_) + "_");
   TANGO_ASSIGN_OR_RETURN(CompiledPlan compiled, compiler.Compile(plan));
+
+  // The temporary tables must be dropped at the end of the query (§3.2) no
+  // matter how execution ends — the guard's destructor covers every exit.
+  TempTableGuard janitor(&connection_, compiled.temp_tables, config_.retry,
+                         &recovery_);
 
   const auto start = std::chrono::steady_clock::now();
   Result<std::vector<Tuple>> rows = MaterializeAll(compiled.root.get());
   const auto elapsed = std::chrono::steady_clock::now() - start;
 
-  // The temporary tables must be dropped at the end of the query (§3.2),
-  // even when execution failed.
-  for (const std::string& t : compiled.temp_tables) {
-    (void)connection_.Execute("DROP TABLE " + t);
-  }
+  // Tear the cursor tree down before cleanup: after a cancelled or failed
+  // materialization the prefetch producers may still be mid-fetch, and
+  // their destructors are what joins them. Past this point the timing sink
+  // is quiescent and the janitor's DROPs cannot race an in-flight fetch.
+  const Schema schema = compiled.root->schema();
+  compiled.root.reset();
+
+  const Status cleanup = janitor.DropAll();
   TANGO_RETURN_IF_ERROR(rows.status());
 
   Execution exec;
-  exec.schema = compiled.root->schema();
+  exec.schema = schema;
   exec.rows = rows.MoveValueOrDie();
   exec.elapsed_seconds = std::chrono::duration<double>(elapsed).count();
   exec.timings = *compiled.timings;
   exec.sql_statements = compiled.sql_statements;
+  exec.cleanup_status = cleanup;
 
   if (config_.adapt) ApplyFeedback(compiled, exec.timings);
   return exec;
+}
+
+Result<Middleware::Execution> Middleware::Execute(
+    const optimizer::PhysPlanPtr& plan, const QueryControlPtr& control) {
+  return ExecuteOnce(plan, control);
+}
+
+Result<Middleware::Execution> Middleware::Execute(
+    const Prepared& prepared, const QueryControlPtr& control) {
+  Result<Execution> first = ExecuteOnce(prepared.plan, control);
+  if (first.ok() || !config_.degrade_on_failure) return first;
+  // Degrade only on an exhausted retry budget (kUnavailable). kTimeout and
+  // kAborted mean the query's deadline/cancellation governs — re-running a
+  // bigger plan cannot help a dead query.
+  const Status& failure = first.status();
+  if (failure.code() != StatusCode::kUnavailable) return first;
+  if (control != nullptr && !control->Check().ok()) return first;
+
+  // A failing T^D direction means the DBMS cannot accept middleware data:
+  // plan middleware-only (no temp tables at all). Anything else is T^M /
+  // statement trouble on the result path: fall back to the paper's initial
+  // shape, everything in the DBMS with one T^M on top.
+  using optimizer::SiteRestriction;
+  const bool td_failed =
+      failure.message().find("TRANSFER^D") != std::string::npos;
+  const SiteRestriction preferred = td_failed
+                                        ? SiteRestriction::kMiddlewareOnly
+                                        : SiteRestriction::kDbmsOnly;
+  const SiteRestriction alternate = td_failed
+                                        ? SiteRestriction::kDbmsOnly
+                                        : SiteRestriction::kMiddlewareOnly;
+  Result<Prepared> fallback =
+      PrepareLogical(prepared.initial_plan, preferred);
+  if (!fallback.ok()) {
+    // E.g. COALESCE/DIFF queries cannot be planned DBMS-only.
+    fallback = PrepareLogical(prepared.initial_plan, alternate);
+  }
+  if (!fallback.ok()) return first;
+
+  ++recovery_.downgrades;
+  Result<Execution> second =
+      ExecuteOnce(fallback.ValueOrDie().plan, control);
+  if (!second.ok()) return second;
+  Execution degraded = second.MoveValueOrDie();
+  degraded.degraded = true;
+  return degraded;
+}
+
+Status Middleware::SweepOrphanTempTables() {
+  TANGO_ASSIGN_OR_RETURN(std::vector<std::string> orphans,
+                         connection_.ListTables("TANGO_TMP_"));
+  Status first_failure;
+  for (const std::string& t : orphans) {
+    const Status s = connection_.Execute("DROP TABLE " + t).status();
+    if (s.ok() || s.code() == StatusCode::kNotFound) {
+      ++recovery_.orphans_swept;
+    } else if (first_failure.ok()) {
+      first_failure = s;
+    }
+  }
+  return first_failure;
 }
 
 Result<std::string> Middleware::Explain(const Prepared& prepared) {
@@ -119,9 +264,10 @@ Result<std::string> Middleware::Explain(const Prepared& prepared) {
   return out;
 }
 
-Result<Middleware::Execution> Middleware::Query(const std::string& tsql_text) {
+Result<Middleware::Execution> Middleware::Query(const std::string& tsql_text,
+                                                const QueryControlPtr& control) {
   TANGO_ASSIGN_OR_RETURN(Prepared prepared, Prepare(tsql_text));
-  return Execute(prepared.plan);
+  return Execute(prepared, control);
 }
 
 void Middleware::ApplyFeedback(const CompiledPlan& compiled,

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/retry.h"
 #include "cost/cost_model.h"
 #include "dbms/connection.h"
 #include "optimizer/optimizer.h"
@@ -47,17 +49,39 @@ class Middleware {
     /// Fraction of each extra worker the cost model credits (parallel
     /// efficiency: skew, serial merge phases, pool overhead).
     double parallel_efficiency = 0.7;
+    /// Retry discipline for transient wire/DBMS failures inside the
+    /// transfer operators and the temp-table janitor.
+    RetryPolicy retry;
+    /// When a transfer exhausts its retry budget, re-plan the query with
+    /// the failing transfer direction forbidden (degraded mode) instead of
+    /// failing outright. Only Execute(Prepared)/Query can do this — they
+    /// hold the logical plan needed for re-planning.
+    bool degrade_on_failure = true;
+    /// Drop orphaned TANGO_TMP_* tables (leaked by a crashed earlier run)
+    /// when the middleware starts.
+    bool sweep_orphans_on_start = true;
   };
 
   explicit Middleware(dbms::Engine* engine) : Middleware(engine, Config()) {}
   Middleware(dbms::Engine* engine, Config config)
       : config_(config), connection_(engine, config.wire) {
     cost_model_.set_parallelism(config_.dop, config_.parallel_efficiency);
+    // Best-effort: an unreachable DBMS at startup must not prevent the
+    // middleware from coming up (the sweep reruns on the next start).
+    if (config_.sweep_orphans_on_start) (void)SweepOrphanTempTables();
   }
 
   dbms::Connection& connection() { return connection_; }
   cost::CostModel& cost_model() { return cost_model_; }
   const Config& config() const { return config_; }
+  /// How often the recovery machinery ran (retries, drops, leaks,
+  /// downgrades); shared with the transfer operators and the janitor.
+  const RecoveryCounters& recovery_counters() const { return recovery_; }
+
+  /// Drops TANGO_TMP_* tables left behind by a previous run that died
+  /// before its janitor could clean up. Returns the first drop failure
+  /// (already-swept tables stay counted in recovery_counters).
+  Status SweepOrphanTempTables();
 
   /// Statistics Collector: pulls base-relation statistics from the DBMS
   /// catalog for the given tables (or re-pulls everything already known).
@@ -79,8 +103,11 @@ class Middleware {
   Result<Prepared> Prepare(const std::string& tsql_text);
 
   /// Optimizes an already-built initial logical plan (benches use this to
-  /// study specific algebra shapes).
-  Result<Prepared> PrepareLogical(const algebra::OpPtr& initial_plan);
+  /// study specific algebra shapes). `restriction` confines processing to
+  /// one site — used internally for degraded fallback plans.
+  Result<Prepared> PrepareLogical(
+      const algebra::OpPtr& initial_plan,
+      optimizer::SiteRestriction restriction = optimizer::SiteRestriction::kNone);
 
   /// Result of executing a plan.
   struct Execution {
@@ -89,15 +116,34 @@ class Middleware {
     double elapsed_seconds = 0;
     exec::TimingSink timings;
     std::vector<std::string> sql_statements;
+    /// True when the result came from a degraded (site-restricted) fallback
+    /// plan after the chosen plan exhausted its retry budget.
+    bool degraded = false;
+    /// Non-OK when a temp table could not be dropped even with retries (the
+    /// rows are still valid; the leak is also counted and the startup sweep
+    /// will reclaim the table).
+    Status cleanup_status;
   };
 
   /// Compiles and executes a physical plan: runs the cursor tree, drops the
-  /// temporary tables, and (when configured) feeds measured times back into
-  /// the cost factors.
-  Result<Execution> Execute(const optimizer::PhysPlanPtr& plan);
+  /// temporary tables (guaranteed — retried, in reverse creation order,
+  /// even when execution failed), and (when configured) feeds measured
+  /// times back into the cost factors. `control` carries the query's
+  /// deadline/cancellation token.
+  Result<Execution> Execute(const optimizer::PhysPlanPtr& plan,
+                            const QueryControlPtr& control = nullptr);
 
-  /// Prepare + Execute in one call.
-  Result<Execution> Query(const std::string& tsql_text);
+  /// Like above, but can also degrade: when the plan fails with an
+  /// exhausted transient error, the query is re-planned with the failing
+  /// transfer direction forbidden (DBMS-only for T^M trouble, middleware-
+  /// only for T^D trouble) and re-executed once; the downgrade is recorded
+  /// in recovery_counters and Execution::degraded.
+  Result<Execution> Execute(const Prepared& prepared,
+                            const QueryControlPtr& control = nullptr);
+
+  /// Prepare + Execute in one call (with degradation).
+  Result<Execution> Query(const std::string& tsql_text,
+                          const QueryControlPtr& control = nullptr);
 
   /// Human-readable explanation of a prepared query: the initial algebra,
   /// the chosen physical plan with estimated costs, and the SQL each
@@ -105,6 +151,11 @@ class Middleware {
   Result<std::string> Explain(const Prepared& prepared);
 
  private:
+  /// One compile-and-run of a physical plan, with the janitor guarding its
+  /// temp tables. No degradation (that is the Prepared overload's job).
+  Result<Execution> ExecuteOnce(const optimizer::PhysPlanPtr& plan,
+                                const QueryControlPtr& control);
+
   /// Applies the performance feedback of one execution to the cost factors.
   void ApplyFeedback(const CompiledPlan& compiled,
                      const exec::TimingSink& timings);
@@ -115,6 +166,10 @@ class Middleware {
   dbms::Connection connection_;
   cost::CostModel cost_model_;
   std::map<std::string, stats::RelStats> table_stats_;
+  RecoveryCounters recovery_;
+  /// Per-execution sequence number: each execution's temp tables get a
+  /// unique prefix, so names can never collide with tables leaked earlier.
+  uint64_t exec_seq_ = 0;
 };
 
 }  // namespace tango

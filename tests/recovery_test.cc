@@ -1,0 +1,428 @@
+// Targeted recovery tests: idempotent transfer retries, shared-cache
+// hygiene under failure, graceful degradation to site-restricted fallback
+// plans, deadline/cancellation unwinding (including the parallel prefetch
+// machinery), and the temp-table janitor + startup orphan sweep.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "exec/transfer.h"
+#include "tango/middleware.h"
+
+namespace tango {
+namespace {
+
+struct RandomRelation {
+  std::vector<Tuple> rows;  // (G, V, T1, T2)
+};
+
+RandomRelation MakeRelation(uint64_t seed, size_t n, int64_t groups,
+                            int64_t horizon) {
+  Rng rng(seed);
+  RandomRelation rel;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t t1 = rng.Uniform(0, horizon);
+    rel.rows.push_back({Value(rng.Uniform(1, groups)),
+                        Value(rng.Uniform(0, 50)), Value(t1),
+                        Value(t1 + rng.Uniform(1, horizon / 4))});
+  }
+  return rel;
+}
+
+void Load(dbms::Engine* db, const std::string& table,
+          const RandomRelation& rel) {
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE " + table + " (G INT, V INT, T1 INT, T2 INT)")
+          .ok());
+  ASSERT_TRUE(db->BulkLoad(table, rel.rows).ok());
+  ASSERT_TRUE(db->Execute("ANALYZE " + table).ok());
+}
+
+Middleware::Config StableConfig() {
+  Middleware::Config config;
+  config.wire.simulate_delay = false;
+  config.adapt = false;  // keep the plan shape fixed across runs
+  return config;
+}
+
+std::multiset<std::string> RowSet(const Middleware::Execution& exec) {
+  std::multiset<std::string> rows;
+  for (const Tuple& t : exec.rows) {
+    std::string s;
+    for (const Value& v : t) s += v.ToString() + "|";
+    rows.insert(std::move(s));
+  }
+  return rows;
+}
+
+bool CatalogHasTempTables(dbms::Engine* db) {
+  for (const std::string& t : db->catalog().TableNames()) {
+    if (t.find("TANGO_TMP") != std::string::npos) return true;
+  }
+  return false;
+}
+
+const char* kAggrQuery =
+    "TEMPORAL SELECT G, T1, T2, COUNT(G) AS CNT FROM R "
+    "GROUP BY G OVER TIME ORDER BY G, T1";
+
+// Aggregate in the middleware, join in the DBMS: the plan must ship the
+// aggregate down through TRANSFER^D (temp table + CREATE/BULKLOAD/DROP).
+const char* kTransferDQuery =
+    "TEMPORAL SELECT C.G, V, CNT FROM "
+    "(TEMPORAL SELECT G, COUNT(G) AS CNT FROM R GROUP BY G OVER TIME) C, "
+    "R S WHERE C.G = S.G ORDER BY G";
+
+void ForceTransferDShape(cost::CostFactors* f) {
+  f->tjm = f->mjm = 1e9;        // no middleware join
+  f->taggd1 = f->taggd2 = 1e9;  // no DBMS aggregation
+}
+
+TEST(RecoveryTest, TransferMRetriesInPlace) {
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(3, 300, 8, 80));
+  Middleware mw(&db, StableConfig());
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  mw.connection().set_fault_injector(injector);
+
+  auto baseline = mw.Query(kAggrQuery);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kStatementFail;
+  plan.sql_substring = "SELECT";
+  plan.times = 2;  // two failures, budget of 3 retries: must recover
+  injector->Arm(plan);
+  auto faulted = mw.Query(kAggrQuery);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(RowSet(faulted.ValueOrDie()), RowSet(baseline.ValueOrDie()));
+  EXPECT_FALSE(faulted.ValueOrDie().degraded);
+  EXPECT_GE(mw.recovery_counters().tm_retries.load(), 2u);
+  EXPECT_EQ(injector->faults_fired(), 2u);
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, CursorKillMidStreamRepositions) {
+  // Unit-level restart-and-skip: a cursor killed on its third prefetch
+  // batch must re-issue the SELECT, skip the rows already delivered, and
+  // stream the remainder — byte-identical to an unfaulted run.
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(5, 100, 4, 40));
+  dbms::WireConfig wc;
+  wc.simulate_delay = false;
+  wc.row_prefetch = 16;  // many small batches
+  dbms::Connection conn(&db, wc);
+  const std::string sql = "SELECT G, V, T1, T2 FROM R";
+  const Schema schema = conn.GetTableSchema("R").ValueOrDie();
+
+  auto drain = [&](exec::TransferMCursor* c, std::vector<Tuple>* out) {
+    TANGO_RETURN_IF_ERROR(c->Init());
+    Tuple t;
+    while (true) {
+      auto more = c->Next(&t);
+      TANGO_RETURN_IF_ERROR(more.status());
+      if (!more.ValueOrDie()) return Status::OK();
+      out->push_back(t);
+    }
+  };
+
+  std::vector<Tuple> expected;
+  {
+    exec::TransferMCursor clean(&conn, sql, schema);
+    ASSERT_TRUE(drain(&clean, &expected).ok());
+    ASSERT_EQ(expected.size(), 100u);
+  }
+
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  conn.set_fault_injector(injector);
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kCursorKill;
+  plan.batch_index = 2;
+  injector->Arm(plan);
+
+  RecoveryCounters counters;
+  std::vector<Tuple> got;
+  exec::TransferMCursor faulted(&conn, sql, schema, {}, nullptr, nullptr,
+                                RetryPolicy(), &counters);
+  ASSERT_TRUE(drain(&faulted, &got).ok());
+  EXPECT_EQ(injector->faults_fired(), 1u);
+  EXPECT_EQ(counters.tm_retries.load(), 1u);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    for (size_t c = 0; c < expected[i].size(); ++c) {
+      EXPECT_EQ(got[i][c].Compare(expected[i][c]), 0) << i << "," << c;
+    }
+  }
+}
+
+TEST(RecoveryTest, SharedTransferCacheNotPoisonedByFailure) {
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(9, 80, 4, 40));
+  dbms::WireConfig wc;
+  wc.simulate_delay = false;
+  wc.row_prefetch = 16;
+  dbms::Connection conn(&db, wc);
+  const std::string sql = "SELECT G, V, T1, T2 FROM R";
+  const Schema schema = conn.GetTableSchema("R").ValueOrDie();
+  auto cache = std::make_shared<exec::TransferCache>();
+  cache->MarkShared(sql);
+
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  conn.set_fault_injector(injector);
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kCursorKill;
+  plan.batch_index = 0;
+  plan.times = 1000;  // outlast any budget
+  injector->Arm(plan);
+
+  RetryPolicy tight;
+  tight.max_attempts = 2;
+  RecoveryCounters counters;
+  exec::TransferMCursor first(&conn, sql, schema, {}, cache, nullptr, tight,
+                              &counters);
+  const Status failed = first.Init();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(IsTransientCode(failed.code())) << failed.ToString();
+  EXPECT_NE(failed.message().find("TRANSFER^M"), std::string::npos)
+      << failed.ToString();
+  // The poisoning contract: a failed materialization stores nothing.
+  EXPECT_EQ(cache->Get(sql), nullptr);
+
+  injector->Disarm();
+  exec::TransferMCursor second(&conn, sql, schema, {}, cache, nullptr,
+                               RetryPolicy(), &counters);
+  ASSERT_TRUE(second.Init().ok());
+  Tuple t;
+  size_t n = 0;
+  while (true) {
+    auto more = second.Next(&t);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ValueOrDie()) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 80u);
+  auto stored = cache->Get(sql);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->size(), 80u);
+}
+
+TEST(RecoveryTest, TransferDRetriesDropAndRecreate) {
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(13, 200, 6, 60));
+  Middleware mw(&db, StableConfig());
+  ForceTransferDShape(&mw.cost_model().factors());
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  mw.connection().set_fault_injector(injector);
+
+  auto baseline = mw.Query(kTransferDQuery);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kStatementFail;
+  plan.sql_substring = "CREATE TABLE TANGO_TMP";
+  injector->Arm(plan);
+  auto faulted = mw.Query(kTransferDQuery);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(injector->faults_fired(), 1u);
+  EXPECT_GE(mw.recovery_counters().td_retries.load(), 1u);
+  EXPECT_EQ(RowSet(faulted.ValueOrDie()), RowSet(baseline.ValueOrDie()));
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, OutageOutlastingBudgetDegradesToDbmsOnly) {
+  // A transient outage that consumes exactly the TRANSFER^M budget and
+  // then clears: the chosen plan fails, the middleware re-plans DBMS-only
+  // and delivers the same rows, recording the downgrade.
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(17, 250, 7, 70));
+  Middleware::Config config = StableConfig();
+  ASSERT_TRUE(config.degrade_on_failure);
+  Middleware mw(&db, config);
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  mw.connection().set_fault_injector(injector);
+
+  auto baseline = mw.Query(kAggrQuery);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_FALSE(baseline.ValueOrDie().degraded);
+
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kStatementFail;
+  plan.sql_substring = "SELECT";
+  plan.times = config.retry.max_attempts;  // budget gone, then outage ends
+  injector->Arm(plan);
+  auto degraded = mw.Query(kAggrQuery);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.ValueOrDie().degraded);
+  EXPECT_EQ(mw.recovery_counters().downgrades.load(), 1u);
+  EXPECT_EQ(mw.recovery_counters().tm_retries.load(),
+            static_cast<uint64_t>(config.retry.max_attempts - 1));
+  EXPECT_EQ(RowSet(degraded.ValueOrDie()), RowSet(baseline.ValueOrDie()));
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, TransferDFailureDegradesToMiddlewareOnly) {
+  // The temp-table CREATE fails permanently: TRANSFER^D is unusable, so
+  // the fallback must avoid the DBMS side entirely (middleware-only) —
+  // and succeed even though the injector is still armed.
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(19, 200, 6, 60));
+  Middleware mw(&db, StableConfig());
+  ForceTransferDShape(&mw.cost_model().factors());
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  mw.connection().set_fault_injector(injector);
+
+  auto baseline = mw.Query(kTransferDQuery);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kStatementFail;
+  plan.sql_substring = "CREATE TABLE TANGO_TMP";
+  plan.times = 1000;
+  injector->Arm(plan);
+  auto degraded = mw.Query(kTransferDQuery);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.ValueOrDie().degraded);
+  EXPECT_EQ(mw.recovery_counters().downgrades.load(), 1u);
+  EXPECT_GE(mw.recovery_counters().td_retries.load(), 1u);
+  EXPECT_EQ(RowSet(degraded.ValueOrDie()), RowSet(baseline.ValueOrDie()));
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, CancelBeforeExecutionAborts) {
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(21, 100, 5, 50));
+  Middleware mw(&db, StableConfig());
+  auto control = std::make_shared<QueryControl>();
+  control->Cancel();
+  auto r = mw.Query(kAggrQuery, control);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted) << r.status().ToString();
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, MidQueryCancelUnwindsParallelPlan) {
+  // A paced, parallel (dop > 1) query cancelled mid-flight must unwind —
+  // including the PrefetchCursor producer thread — without deadlocking,
+  // and leave no temp tables behind.
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(25, 500, 8, 100));
+  Middleware::Config config;
+  config.adapt = false;
+  config.dop = 2;
+  config.wire.simulate_delay = true;
+  config.wire.bytes_per_second = 2e4;  // slow link: plenty of time to cancel
+  Middleware mw(&db, config);
+
+  auto control = std::make_shared<QueryControl>();
+  std::thread canceller([control] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    control->Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto r = mw.Query(kAggrQuery, control);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted) << r.status().ToString();
+  // Far below what the full transfer would have taken on this link; mostly
+  // a guard against a hung prefetch handshake.
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, DeadlineExpiresDuringLatencySpike) {
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(27, 100, 5, 50));
+  Middleware mw(&db, StableConfig());
+  auto injector = std::make_shared<dbms::FaultInjector>();
+  mw.connection().set_fault_injector(injector);
+
+  dbms::FaultPlan plan;
+  plan.kind = dbms::FaultKind::kLatencySpike;
+  plan.latency_seconds = 0.5;
+  plan.times = 1000;
+  injector->Arm(plan);
+
+  auto control = std::make_shared<QueryControl>();
+  control->SetDeadline(0.05);
+  const auto start = std::chrono::steady_clock::now();
+  auto r = mw.Query(kAggrQuery, control);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(r.ok());
+  // The spike sleeps in small slices polling the control, so the query
+  // dies at the deadline, not after the full stall — and kTimeout is not
+  // retryable, so no backoff loop piles on top.
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout) << r.status().ToString();
+  EXPECT_LT(elapsed, 2.0);
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, JanitorCountsLeaksAndStartupSweepReclaims) {
+  dbms::Engine db;
+  Load(&db, "R", MakeRelation(29, 200, 6, 60));
+  {
+    Middleware mw(&db, StableConfig());
+    ForceTransferDShape(&mw.cost_model().factors());
+    auto injector = std::make_shared<dbms::FaultInjector>();
+    mw.connection().set_fault_injector(injector);
+
+    dbms::FaultPlan plan;
+    plan.kind = dbms::FaultKind::kStatementFail;
+    plan.sql_substring = "DROP TABLE TANGO_TMP";
+    plan.times = 1000;
+    injector->Arm(plan);
+
+    // The query itself succeeds; only its cleanup is being sabotaged.
+    auto r = mw.Query(kTransferDQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.ValueOrDie().cleanup_status.ok());
+    EXPECT_GE(mw.recovery_counters().drop_retries.load(), 1u);
+    EXPECT_GE(mw.recovery_counters().temp_table_drop_failures.load(), 1u);
+    EXPECT_GE(mw.recovery_counters().temp_tables_leaked.load(), 1u);
+    EXPECT_TRUE(CatalogHasTempTables(&db));
+  }
+  // A fresh middleware (fault gone) reclaims the orphans at startup.
+  Middleware fresh(&db, StableConfig());
+  EXPECT_GE(fresh.recovery_counters().orphans_swept.load(), 1u);
+  EXPECT_FALSE(CatalogHasTempTables(&db));
+}
+
+TEST(RecoveryTest, RetryStateDisciplines) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryState state(policy);
+  const Status transient = Status::Unavailable("flaky");
+  EXPECT_TRUE(state.ShouldRetry(transient));
+  // Internal errors are never retried: the bug won't go away.
+  EXPECT_FALSE(state.ShouldRetry(Status::Internal("bug")));
+  // kTimeout is transient but not retryable (the deadline governs).
+  EXPECT_FALSE(state.ShouldRetry(Status::Timeout("deadline")));
+
+  ASSERT_TRUE(state.Backoff(nullptr).ok());
+  EXPECT_TRUE(state.ShouldRetry(transient));
+  ASSERT_TRUE(state.Backoff(nullptr).ok());
+  EXPECT_FALSE(state.ShouldRetry(transient)) << "budget of 3 attempts";
+
+  // Backoff fails fast on a dead control instead of sleeping.
+  auto cancelled = std::make_shared<QueryControl>();
+  cancelled->Cancel();
+  RetryState s2(policy);
+  EXPECT_EQ(s2.Backoff(cancelled).code(), StatusCode::kAborted);
+
+  auto expiring = std::make_shared<QueryControl>();
+  expiring->SetDeadline(1e-9);
+  RetryState s3(policy);
+  EXPECT_EQ(s3.Backoff(expiring).code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace tango
