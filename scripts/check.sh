@@ -11,6 +11,13 @@
 # memory corruption / a race in the recovery paths, so they must stay green
 # under ASan and TSan even if the main ctest selection is ever narrowed.
 #
+# The observability suites (obs_test, trace_test, explain_analyze_test) get
+# the same treatment — the metrics registry and trace recorder are written
+# to concurrently by the pool workers and prefetch producers, so TSan is
+# their real referee. Every leg additionally fails if any test binary
+# printed a metrics-registry leak warning (an expect-zero gauge, e.g.
+# pool.queue_depth or query.active, that did not drain back to zero).
+#
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 
 set -euo pipefail
@@ -19,6 +26,18 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 ROBUSTNESS_SUITES='^(fault_matrix_test|wire_fuzz_test|recovery_test)$'
+OBS_SUITES='^(obs_test|trace_test|explain_analyze_test)$'
+
+# ctest rewrites LastTest.log on every invocation, so this runs after each
+# one: no test binary may print a metrics-registry leak warning.
+check_leaks() {
+  local name="$1" dir="$2"
+  if grep -q "metrics-registry leak" "${dir}/Testing/Temporary/LastTest.log"; then
+    echo "=== ${name}: FAILED — metrics-registry leak warnings in test output ==="
+    grep "metrics-registry leak" "${dir}/Testing/Temporary/LastTest.log"
+    exit 1
+  fi
+}
 
 run_config() {
   local name="$1" dir="$2" sanitize="$3"
@@ -26,9 +45,14 @@ run_config() {
   cmake -B "${dir}" -S . -DTANGO_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  check_leaks "${name}" "${dir}"
   if [[ -n "${sanitize}" ]]; then
     echo "=== ${name}: robustness suites (fault matrix + wire fuzz + recovery) ==="
     (cd "${dir}" && ctest --output-on-failure -R "${ROBUSTNESS_SUITES}")
+    check_leaks "${name}" "${dir}"
+    echo "=== ${name}: observability suites (metrics + trace + explain analyze) ==="
+    (cd "${dir}" && ctest --output-on-failure -R "${OBS_SUITES}")
+    check_leaks "${name}" "${dir}"
   fi
   echo "=== ${name}: OK ==="
   echo

@@ -1,11 +1,12 @@
 #ifndef TANGO_COMMON_RETRY_H_
 #define TANGO_COMMON_RETRY_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "common/cancel.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tango {
 
@@ -63,17 +64,46 @@ class RetryState {
 /// \brief Wire/recovery observability: how often the failure machinery ran.
 ///
 /// One instance lives in the Middleware and is shared (by pointer) with the
-/// transfer operators and the temp-table janitor; all fields are atomic
-/// because TRANSFER^M retries can fire on prefetch threads.
-struct RecoveryCounters {
-  std::atomic<uint64_t> tm_retries{0};
-  std::atomic<uint64_t> td_retries{0};
-  std::atomic<uint64_t> drop_retries{0};
-  std::atomic<uint64_t> temp_tables_dropped{0};
-  std::atomic<uint64_t> temp_table_drop_failures{0};
-  std::atomic<uint64_t> temp_tables_leaked{0};
-  std::atomic<uint64_t> orphans_swept{0};
-  std::atomic<uint64_t> downgrades{0};
+/// transfer operators and the temp-table janitor; the fields are metric
+/// counters (atomic) because TRANSFER^M retries can fire on prefetch
+/// threads. The counters live in an obs::MetricsRegistry under the
+/// "retry.*" / "janitor.*" / "recovery.*" names, so they show up in the
+/// registry's text dump alongside the wire and transfer series; a
+/// default-constructed instance owns a private registry (unit tests).
+class RecoveryCounters {
+ private:
+  // Declared (and therefore initialized) before the references below.
+  std::shared_ptr<obs::MetricsRegistry> owned_;
+  obs::MetricsRegistry& registry_;
+
+ public:
+  /// Binds the counters in `registry`; null = own a private registry.
+  explicit RecoveryCounters(obs::MetricsRegistry* registry = nullptr)
+      : owned_(registry == nullptr ? std::make_shared<obs::MetricsRegistry>()
+                                   : nullptr),
+        registry_(registry != nullptr ? *registry : *owned_),
+        tm_retries(registry_.counter("retry.tm")),
+        td_retries(registry_.counter("retry.td")),
+        drop_retries(registry_.counter("retry.drop")),
+        temp_tables_dropped(registry_.counter("janitor.temp_tables_dropped")),
+        temp_table_drop_failures(registry_.counter("janitor.drop_failures")),
+        temp_tables_leaked(registry_.counter("janitor.temp_tables_leaked")),
+        orphans_swept(registry_.counter("janitor.orphans_swept")),
+        downgrades(registry_.counter("recovery.downgrades")) {}
+
+  RecoveryCounters(const RecoveryCounters&) = delete;
+  RecoveryCounters& operator=(const RecoveryCounters&) = delete;
+
+  obs::Counter& tm_retries;
+  obs::Counter& td_retries;
+  obs::Counter& drop_retries;
+  obs::Counter& temp_tables_dropped;
+  obs::Counter& temp_table_drop_failures;
+  obs::Counter& temp_tables_leaked;
+  obs::Counter& orphans_swept;
+  obs::Counter& downgrades;
+
+  obs::MetricsRegistry& registry() { return registry_; }
 
   uint64_t transfer_retries() const {
     return tm_retries.load() + td_retries.load();

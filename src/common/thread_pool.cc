@@ -3,7 +3,9 @@
 namespace tango {
 namespace common {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, obs::Gauge* queue_depth,
+                       obs::TraceRecorder* trace, obs::SpanId trace_parent)
+    : queue_depth_(queue_depth), trace_(trace), trace_parent_(trace_parent) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -29,8 +31,12 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop();
+      if (queue_depth_ != nullptr) queue_depth_->Decrement();
     }
-    task();  // packaged_task captures exceptions into the future
+    {
+      obs::ScopedSpan span(trace_, "pool.task", "pool", trace_parent_);
+      task();  // packaged_task captures exceptions into the future
+    }
   }
 }
 

@@ -11,6 +11,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tango {
 namespace common {
 
@@ -23,8 +26,16 @@ namespace common {
 /// queue is never the bottleneck.
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least one).
-  explicit ThreadPool(size_t num_threads);
+  /// Starts `num_threads` workers (at least one). The observability hooks
+  /// are taken at construction — before any worker runs — so they are
+  /// never mutated while a worker might read them: `queue_depth` (may be
+  /// null) tracks tasks submitted but not yet picked up, and each executed
+  /// task is recorded as a "pool.task" span under `trace_parent` when
+  /// `trace` is non-null.
+  explicit ThreadPool(size_t num_threads,
+                      obs::Gauge* queue_depth = nullptr,
+                      obs::TraceRecorder* trace = nullptr,
+                      obs::SpanId trace_parent = obs::kNoSpan);
 
   /// Drains outstanding tasks and joins the workers.
   ~ThreadPool();
@@ -46,6 +57,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.push([task]() { (*task)(); });
+      if (queue_depth_ != nullptr) queue_depth_->Increment();
     }
     cv_.notify_one();
     return result;
@@ -58,6 +70,9 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   bool stop_ = false;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanId trace_parent_ = obs::kNoSpan;
   std::vector<std::thread> workers_;
 };
 

@@ -142,16 +142,19 @@ void Connection::Spin(double seconds) {
 
 void Connection::PaceBytes(size_t bytes) {
   counters_.bytes_to_client += bytes;
+  if (m_bytes_to_client_ != nullptr) m_bytes_to_client_->Increment(bytes);
   Spin(static_cast<double>(bytes) / config_.bytes_per_second);
 }
 
 void Connection::PaceRoundTrip() {
   ++counters_.statements;
+  if (m_statements_ != nullptr) ++*m_statements_;
   Spin(config_.roundtrip_seconds);
 }
 
 void Connection::PaceBatch() {
   ++counters_.batches;
+  if (m_batches_ != nullptr) ++*m_batches_;
   Spin(config_.per_batch_seconds);
 }
 
@@ -179,6 +182,7 @@ Status Connection::StatementGate(const std::string& sql,
       // The failed round trip still crossed the wire.
       PaceRoundTrip();
       counters_.bytes_to_server += sql.size();
+      if (m_bytes_to_server_ != nullptr) m_bytes_to_server_->Increment(sql.size());
       return decision.inject;
     }
     if (fault_result_cursor != nullptr) {
@@ -187,6 +191,7 @@ Status Connection::StatementGate(const std::string& sql,
   }
   PaceRoundTrip();
   counters_.bytes_to_server += sql.size();
+  if (m_bytes_to_server_ != nullptr) m_bytes_to_server_->Increment(sql.size());
   return Status::OK();
 }
 
@@ -225,6 +230,9 @@ Status Connection::BulkLoad(const std::string& table,
   WireWriter writer;
   for (const Tuple& t : rows) writer.PutTuple(t);
   counters_.bytes_to_server += writer.size();
+  if (m_bytes_to_server_ != nullptr) {
+    m_bytes_to_server_->Increment(writer.size());
+  }
   Spin(static_cast<double>(writer.size()) / config_.bytes_per_second);
   // ...and the server performs a direct-path load.
   std::vector<Tuple> decoded;

@@ -11,6 +11,7 @@
 #include "common/cursor.h"
 #include "dbms/engine.h"
 #include "dbms/fault.h"
+#include "obs/metrics.h"
 
 namespace tango {
 namespace dbms {
@@ -63,6 +64,22 @@ class Connection {
   WireConfig& config() { return config_; }
   const WireCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = WireCounters(); }
+
+  /// Mirrors the wire counters into `registry` as the process-wide
+  /// "wire.statements" / "wire.batches" / "wire.bytes_to_client" /
+  /// "wire.bytes_to_server" series (null detaches). Unlike the per-
+  /// connection WireCounters, these are never reset.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      m_statements_ = m_batches_ = m_bytes_to_client_ = m_bytes_to_server_ =
+          nullptr;
+      return;
+    }
+    m_statements_ = &registry->counter("wire.statements");
+    m_batches_ = &registry->counter("wire.batches");
+    m_bytes_to_client_ = &registry->counter("wire.bytes_to_client");
+    m_bytes_to_server_ = &registry->counter("wire.bytes_to_server");
+  }
 
   /// Attaches the failure model consulted at every statement/batch; null
   /// detaches it.
@@ -127,6 +144,10 @@ class Connection {
   Engine* engine_;
   WireConfig config_;
   WireCounters counters_;
+  obs::Counter* m_statements_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_bytes_to_client_ = nullptr;
+  obs::Counter* m_bytes_to_server_ = nullptr;
   FaultInjectorPtr fault_;
   std::mutex wire_mu_;
 };

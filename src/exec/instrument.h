@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/cursor.h"
+#include "obs/trace.h"
 
 namespace tango {
 namespace exec {
@@ -76,14 +77,36 @@ class InstrumentedCursor : public Cursor {
   /// Destroying the inner cursor joins any worker threads that may still be
   /// inside the recorder lambda (which locks mu_ and captures this), so it
   /// must happen before the remaining members are torn down — the implicit
-  /// destructor would destroy mu_ first (reverse declaration order).
-  ~InstrumentedCursor() override { inner_.reset(); }
+  /// destructor would destroy mu_ first (reverse declaration order). Joining
+  /// first also guarantees the operator span's End timestamp covers every
+  /// thread that worked on this cursor.
+  ~InstrumentedCursor() override {
+    inner_.reset();
+    if (trace_ != nullptr && span_begun_) trace_->End(span_);
+  }
 
   size_t id() const { return id_; }
 
+  /// Attributes this cursor's lifetime to `span` in `trace` (may be null):
+  /// the span begins at the first Init call — stamping the initiating
+  /// thread — and ends when the cursor is destroyed.
+  void set_trace(obs::TraceRecorder* trace, obs::SpanId span) {
+    trace_ = trace;
+    span_ = span;
+  }
+
   Status Init() override {
+    if (trace_ != nullptr && !span_begun_) {
+      trace_->Begin(span_);
+      span_begun_ = true;
+    }
     const auto start = Clock::now();
-    Status s = inner_->Init();
+    Status s;
+    {
+      obs::ScopedSpan init_span(trace_, "init", "operator", span_,
+                                static_cast<int64_t>(id_));
+      s = inner_->Init();
+    }
     Record(start);
     return s;
   }
@@ -111,6 +134,9 @@ class InstrumentedCursor : public Cursor {
   CursorPtr inner_;
   TimingSink* sink_;
   size_t id_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanId span_ = obs::kNoSpan;
+  bool span_begun_ = false;
   std::mutex mu_;
 };
 

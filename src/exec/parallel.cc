@@ -422,6 +422,7 @@ Status PrefetchCursor::Init() {
 }
 
 void PrefetchCursor::ProducerLoop() {
+  obs::ScopedSpan span(trace_, "prefetch.producer", "prefetch", trace_parent_);
   const WorkerTimeRecorder recorder = recorder_;
   const auto started = Clock::now();
   double active_seconds = 0;

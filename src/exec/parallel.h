@@ -172,6 +172,13 @@ class PrefetchCursor : public Cursor, public WorkerTimedCursor {
     recorder_ = std::move(recorder);
   }
 
+  /// Records the producer thread's drain as a "prefetch.producer" span
+  /// under `parent`. Call before Init (the producer reads these unlocked).
+  void set_trace(obs::TraceRecorder* trace, obs::SpanId parent) {
+    trace_ = trace;
+    trace_parent_ = parent;
+  }
+
  private:
   void ProducerLoop();
   void StopProducer();
@@ -182,6 +189,8 @@ class PrefetchCursor : public Cursor, public WorkerTimedCursor {
   size_t max_batches_;
   QueryControlPtr control_;
   WorkerTimeRecorder recorder_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanId trace_parent_ = obs::kNoSpan;
 
   std::thread producer_;
   std::mutex mu_;

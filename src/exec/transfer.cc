@@ -64,7 +64,10 @@ Status TransferMCursor::Restore(size_t skip) {
     if (s.ok()) return s;
     if (!retry_->ShouldRetry(s)) return TagTransient(s, "TRANSFER^M", sql_);
     if (counters_ != nullptr) ++counters_->tm_retries;
-    TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+    {
+      obs::ScopedSpan backoff(obs_.trace, "retry.backoff", "retry", obs_.span);
+      TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+    }
   }
 }
 
@@ -90,10 +93,15 @@ Status TransferMCursor::Init() {
   // §7 refinement: identical statements within one plan transfer once.
   if (cache_ != nullptr) {
     cached_rows_ = cache_->Get(sql_);
-    if (cached_rows_ != nullptr) return Status::OK();
+    if (cached_rows_ != nullptr) {
+      if (obs_.cache_hits != nullptr) ++*obs_.cache_hits;
+      return Status::OK();
+    }
   }
   TANGO_RETURN_IF_ERROR(Restore(0));
   if (cache_ != nullptr && cache_->IsShared(sql_)) {
+    // Shared but not yet cached: this occurrence pays the transfer.
+    if (obs_.cache_misses != nullptr) ++*obs_.cache_misses;
     // Materialize once; this and every later occurrence serve locally. The
     // cache is only written after a complete drain — a transfer dying
     // mid-materialization (even past its retry budget) leaves no partial
@@ -107,11 +115,16 @@ Status TransferMCursor::Init() {
           return TagTransient(more.status(), "TRANSFER^M", sql_);
         }
         if (counters_ != nullptr) ++counters_->tm_retries;
-        TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+        {
+          obs::ScopedSpan backoff(obs_.trace, "retry.backoff", "retry",
+                                  obs_.span);
+          TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+        }
         TANGO_RETURN_IF_ERROR(Restore(rows.size()));
         continue;
       }
       if (!more.ValueOrDie()) break;
+      if (obs_.rows_to_middleware != nullptr) ++*obs_.rows_to_middleware;
       rows.push_back(std::move(t));
     }
     remote_.reset();
@@ -130,14 +143,20 @@ Result<bool> TransferMCursor::Next(Tuple* tuple) {
   while (true) {
     Result<bool> r = remote_->Next(tuple);
     if (r.ok()) {
-      if (r.ValueOrDie()) ++delivered_;
+      if (r.ValueOrDie()) {
+        ++delivered_;
+        if (obs_.rows_to_middleware != nullptr) ++*obs_.rows_to_middleware;
+      }
       return r;
     }
     if (!retry_->ShouldRetry(r.status())) {
       return TagTransient(r.status(), "TRANSFER^M", sql_);
     }
     if (counters_ != nullptr) ++counters_->tm_retries;
-    TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+    {
+      obs::ScopedSpan backoff(obs_.trace, "retry.backoff", "retry", obs_.span);
+      TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+    }
     TANGO_RETURN_IF_ERROR(Restore(delivered_));
   }
 }
@@ -203,9 +222,13 @@ Status TransferDCursor::Init() {
   while (!s.ok()) {
     if (!retry.ShouldRetry(s)) return TagTransient(s, "TRANSFER^D", table_name_);
     if (counters_ != nullptr) ++counters_->td_retries;
-    TANGO_RETURN_IF_ERROR(retry.Backoff(control_));
+    {
+      obs::ScopedSpan backoff(obs_.trace, "retry.backoff", "retry", obs_.span);
+      TANGO_RETURN_IF_ERROR(retry.Backoff(control_));
+    }
     s = AttemptLoad(/*drop_first=*/true, ddl, rows);
   }
+  if (obs_.rows_to_dbms != nullptr) obs_.rows_to_dbms->Increment(rows_loaded_);
   return Status::OK();
 }
 

@@ -12,9 +12,25 @@
 #include "common/cursor.h"
 #include "common/retry.h"
 #include "dbms/connection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tango {
 namespace exec {
+
+/// \brief Optional observability hooks for the transfer cursors.
+///
+/// All pointers may be null (that hook is skipped). `span` is the
+/// operator span the cursor's retry backoffs nest under — NOT the span the
+/// rows are attributed to; row counts go to the process-wide counters.
+struct TransferObservability {
+  obs::Counter* rows_to_middleware = nullptr;  // T^M rows delivered
+  obs::Counter* rows_to_dbms = nullptr;        // T^D rows bulk-loaded
+  obs::Counter* cache_hits = nullptr;          // shared-statement cache hits
+  obs::Counter* cache_misses = nullptr;        // shared statements transferred
+  obs::TraceRecorder* trace = nullptr;
+  obs::SpanId span = obs::kNoSpan;
+};
 
 /// \brief Shared result store for identical TRANSFER^M statements within
 /// one query execution.
@@ -84,6 +100,9 @@ class TransferMCursor : public Cursor {
 
   const std::string& sql() const { return sql_; }
 
+  /// Installs the metric/trace hooks; call before Init.
+  void set_observability(const TransferObservability& obs) { obs_ = obs; }
+
  private:
   /// One attempt: (re)issue the SELECT and skip `skip` already-delivered
   /// rows. Non-OK means the attempt failed (possibly transiently).
@@ -100,6 +119,7 @@ class TransferMCursor : public Cursor {
   QueryControlPtr control_;
   RetryPolicy policy_;
   RecoveryCounters* counters_;
+  TransferObservability obs_;
   std::unique_ptr<RetryState> retry_;
   CursorPtr remote_;
   size_t delivered_ = 0;
@@ -141,6 +161,9 @@ class TransferDCursor : public Cursor {
   /// Number of tuples loaded (valid after Init).
   size_t rows_loaded() const { return rows_loaded_; }
 
+  /// Installs the metric/trace hooks; call before Init.
+  void set_observability(const TransferObservability& obs) { obs_ = obs; }
+
  private:
   /// One attempt at the DBMS side; `drop_first` makes a retry idempotent by
   /// removing whatever the failed attempt left behind.
@@ -154,6 +177,7 @@ class TransferDCursor : public Cursor {
   QueryControlPtr control_;
   RetryPolicy policy_;
   RecoveryCounters* counters_;
+  TransferObservability obs_;
   size_t rows_loaded_ = 0;
 };
 

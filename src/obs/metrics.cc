@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tango {
+namespace obs {
+
+namespace {
+
+/// Lower edge of bucket 0; every bucket spans a factor of 2 above it.
+constexpr double kFirstUpper = 1e-9;
+
+/// fetch_add / fetch_min / fetch_max for atomic<double> via CAS (portable
+/// across toolchains that lack C++20 floating-point fetch_add).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t Histogram::BucketOf(double value) {
+  if (!(value > kFirstUpper)) return 0;
+  const double b = std::ceil(std::log2(value / kFirstUpper));
+  if (b >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(b);
+}
+
+double Histogram::BucketUpper(size_t bucket) {
+  return kFirstUpper * std::pow(2.0, static_cast<double>(bucket));
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t before = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (before == 0) {
+    // First sample: seed min/max so the CAS loops compare against a real
+    // value, not the 0 placeholder. A concurrent first Record still
+    // converges — both threads run the min/max CAS below.
+    double zero = 0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+    zero = 0;
+    max_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(total);
+  const double lo = min();
+  const double hi = max();
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target) {
+      // Clamp the bucket's upper edge into the observed range so quantiles
+      // always bracket real values (and q=0 / q=1 hit min / max exactly).
+      double v = BucketUpper(i);
+      if (v < lo) v = lo;
+      if (v > hi) v = hi;
+      return v;
+    }
+  }
+  return hi;
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  for (const std::string& warning : LeakWarnings()) {
+    std::fprintf(stderr, "%s\n", warning.c_str());
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              bool expect_zero_at_exit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaugeEntry& entry = gauges_[name];
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  entry.expect_zero = entry.expect_zero || expect_zero_at_exit;
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->load()));
+    out += line;
+  }
+  for (const auto& [name, e] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %lld\n", name.c_str(),
+                  static_cast<long long>(e.gauge->load()));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%llu sum=%.6g min=%.6g max=%.6g "
+                  "p50=%.6g p95=%.6g p99=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->sum(), h->min(), h->max(), h->Quantile(0.5),
+                  h->Quantile(0.95), h->Quantile(0.99));
+    out += line;
+  }
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::LeakWarnings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> warnings;
+  for (const auto& [name, e] : gauges_) {
+    if (!e.expect_zero) continue;
+    const int64_t v = e.gauge->load();
+    if (v != 0) {
+      warnings.push_back("metrics-registry leak: gauge " + name + " = " +
+                         std::to_string(v) + " at registry destruction");
+    }
+  }
+  return warnings;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: worker threads of detached embedders may record at
+  // static-destruction time; the global registry therefore never dies (its
+  // leak warnings are only meaningful for per-middleware registries).
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace obs
+}  // namespace tango

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace tango {
+namespace obs {
+
+namespace {
+
+/// Minimal JSON string escaping (names are plain ASCII operator labels, but
+/// the exporter must never emit a malformed document).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t TraceRecorder::ThreadIdLocked() {
+  const std::thread::id tid = std::this_thread::get_id();
+  const auto it = thread_ids_.find(tid);
+  if (it != thread_ids_.end()) return it->second;
+  const uint64_t id = thread_ids_.size();
+  thread_ids_[tid] = id;
+  return id;
+}
+
+SpanId TraceRecorder::Allocate(std::string name, std::string category,
+                               SpanId parent, int64_t plan_node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.plan_node = plan_node;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::Begin(SpanId id) {
+  // NowUs before the lock: a contended mutex must not inflate the span.
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kNoSpan || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.start_us >= 0) return;
+  span.start_us = now;
+  span.thread_id = ThreadIdLocked();
+}
+
+void TraceRecorder::End(SpanId id) {
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kNoSpan || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.start_us < 0 || span.end_us >= 0) return;
+  span.end_us = now;
+}
+
+SpanId TraceRecorder::StartSpan(std::string name, std::string category,
+                                SpanId parent, int64_t plan_node) {
+  const SpanId id =
+      Allocate(std::move(name), std::move(category), parent, plan_node);
+  Begin(id);
+  return id;
+}
+
+void TraceRecorder::SetParent(SpanId id, SpanId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kNoSpan || id > spans_.size()) return;
+  spans_[id - 1].parent = parent;
+}
+
+std::vector<Span> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<Span> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const Span& s : spans) {
+    if (!s.completed()) continue;  // never begun (e.g. EXPLAIN) or still open
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"cat\":\"" +
+           JsonEscape(s.category) + "\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%llu",
+                  static_cast<long long>(s.start_us),
+                  static_cast<long long>(s.end_us - s.start_us),
+                  static_cast<unsigned long long>(s.thread_id));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"span_id\":%llu,\"parent\":%llu,"
+                  "\"plan_node\":%lld}}",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<long long>(s.plan_node));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tango

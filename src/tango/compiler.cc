@@ -70,21 +70,67 @@ std::vector<std::string> PlanCompiler::TempTableColumns(const Schema& schema) {
 CursorPtr PlanCompiler::Instrument(CursorPtr cursor, const PhysPlan& node,
                                    std::vector<size_t> child_ids,
                                    CompiledPlan* out, size_t* timing_id) {
+  obs::SpanId span = obs::kNoSpan;
+  if (trace_ != nullptr) {
+    // The timing id this cursor is about to get (sink ids are sequential).
+    const size_t next_id = out->timings->size();
+    span = trace_->Allocate(optimizer::AlgorithmName(node.algorithm),
+                            "operator", trace_parent_,
+                            static_cast<int64_t>(next_id));
+    // Compiled bottom-up: re-parent the children's spans (allocated against
+    // the execute span) under this operator so spans mirror the plan tree.
+    for (size_t child : child_ids) {
+      if (child < span_of_timing_.size()) {
+        trace_->SetParent(span_of_timing_[child], span);
+      }
+    }
+  }
   auto instrumented = std::make_unique<exec::InstrumentedCursor>(
       std::move(cursor), optimizer::AlgorithmName(node.algorithm),
       out->timings.get(), std::move(child_ids));
   *timing_id = instrumented->id();
-  out->nodes.push_back({*timing_id, &node});
+  if (span_of_timing_.size() <= *timing_id) {
+    span_of_timing_.resize(*timing_id + 1, obs::kNoSpan);
+  }
+  span_of_timing_[*timing_id] = span;
+  instrumented->set_trace(trace_, span);
+  out->nodes.push_back({*timing_id, &node, /*sql=*/""});
   return instrumented;
+}
+
+exec::TransferObservability PlanCompiler::TransferHooks(
+    obs::SpanId span) const {
+  exec::TransferObservability hooks;
+  if (metrics_ != nullptr) {
+    hooks.rows_to_middleware = &metrics_->counter("transfer.rows_to_middleware");
+    hooks.rows_to_dbms = &metrics_->counter("transfer.rows_to_dbms");
+    hooks.cache_hits = &metrics_->counter("transfer_cache.hits");
+    hooks.cache_misses = &metrics_->counter("transfer_cache.misses");
+  }
+  hooks.trace = trace_;
+  hooks.span = span;
+  return hooks;
 }
 
 Result<CompiledPlan> PlanCompiler::Compile(const optimizer::PhysPlanPtr& plan) {
   CompiledPlan out;
   out.timings = std::make_shared<exec::TimingSink>();
   out.transfer_cache = std::make_shared<exec::TransferCache>();
-  if (dop_ > 1) out.pool = std::make_shared<common::ThreadPool>(dop_);
+  span_of_timing_.clear();
+  if (dop_ > 1) {
+    // The pool's observability hooks must be installed at construction
+    // (workers read them unlocked); pool.queue_depth must drain back to
+    // zero by plan teardown, so it is registered leak-checked.
+    out.pool = std::make_shared<common::ThreadPool>(
+        dop_,
+        metrics_ != nullptr
+            ? &metrics_->gauge("pool.queue_depth", /*expect_zero_at_exit=*/true)
+            : nullptr,
+        trace_, trace_parent_);
+  }
   size_t timing_id = 0;
   TANGO_ASSIGN_OR_RETURN(out.root, CompileNode(*plan, &out, &timing_id));
+  out.root_timing_id = timing_id;
   // §7 refinement: a statement occurring more than once in the plan is
   // transferred once and served from the shared store afterwards.
   if (share_transfers_) {
@@ -119,9 +165,11 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
     auto cursor = std::make_unique<exec::TransferDCursor>(
         conn_, name, TempTableColumns(td->op->schema), std::move(child),
         control_, retry_, counters_);
+    exec::TransferDCursor* raw_td = cursor.get();
     size_t td_id = 0;
     dependencies.push_back(
         Instrument(std::move(cursor), *td, {child_id}, out, &td_id));
+    raw_td->set_observability(TransferHooks(span_of_timing_[td_id]));
     dep_ids.push_back(td_id);
   }
 
@@ -133,16 +181,23 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
   auto cursor = std::make_unique<exec::TransferMCursor>(
       conn_, rendered.sql, node.op->schema, std::move(dependencies),
       out->transfer_cache, control_, retry_, counters_);
+  exec::TransferMCursor* raw_tm = cursor.get();
   CursorPtr instrumented =
       Instrument(std::move(cursor), node, dep_ids, out, timing_id);
+  raw_tm->set_observability(TransferHooks(span_of_timing_[*timing_id]));
+  out->nodes.back().sql = rendered.sql;
   if (dop_ > 1) {
     // Parallel T^M drain: a prefetch thread decodes wire chunks ahead of
     // the consumer. The prefetch wrapper is transparent to the timing tree
     // (the TRANSFER^M entry keeps measuring the real transfer work, now on
     // the producer thread).
-    return CursorPtr(std::make_unique<exec::PrefetchCursor>(
+    auto prefetch = std::make_unique<exec::PrefetchCursor>(
         std::move(instrumented), conn_->config().row_prefetch,
-        /*max_batches=*/4, control_));
+        /*max_batches=*/4, control_);
+    // The producer span parents to the execute span (not the operator): the
+    // producer thread outlives the operator's Init interval.
+    prefetch->set_trace(trace_, trace_parent_);
+    return CursorPtr(std::move(prefetch));
   }
   return instrumented;
 }

@@ -11,6 +11,8 @@
 #include "dbms/connection.h"
 #include "exec/instrument.h"
 #include "exec/transfer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/phys.h"
 
 namespace tango {
@@ -20,6 +22,8 @@ namespace tango {
 struct CompiledNode {
   size_t timing_id = 0;
   const optimizer::PhysPlan* plan = nullptr;
+  /// The SELECT this node issues (TRANSFER^M only; empty otherwise).
+  std::string sql;
 };
 
 /// An execution-ready plan (Figure 5): a cursor tree whose DBMS-resident
@@ -29,6 +33,9 @@ struct CompiledPlan {
   std::shared_ptr<exec::TimingSink> timings;
   std::vector<std::string> temp_tables;
   std::vector<CompiledNode> nodes;
+  /// Timing id of the plan root (the last id assigned — EXPLAIN ANALYZE
+  /// renders the observation tree from here).
+  size_t root_timing_id = 0;
   /// The SQL statements issued by TRANSFER^M nodes (observability/EXPLAIN).
   std::vector<std::string> sql_statements;
   /// Shared store for identical TRANSFER^M statements (§7 refinement).
@@ -82,6 +89,17 @@ class PlanCompiler {
   /// collide with a later query's temp names.
   void set_temp_prefix(std::string prefix) { temp_prefix_ = std::move(prefix); }
 
+  /// Registry the compiled plan's transfer/cache/pool metrics land in (may
+  /// be null; not owned).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  /// Trace recorder for the compiled plan: every instrumented operator gets
+  /// a pre-allocated span (begun at its Init), parented under `parent` or —
+  /// for non-root operators — its parent operator's span.
+  void set_trace(obs::TraceRecorder* trace, obs::SpanId parent) {
+    trace_ = trace;
+    trace_parent_ = parent;
+  }
+
   Result<CompiledPlan> Compile(const optimizer::PhysPlanPtr& plan);
 
   /// Column names used for a TRANSFER^D temporary table (unique-ified
@@ -98,6 +116,10 @@ class PlanCompiler {
                        std::vector<size_t> child_ids, CompiledPlan* out,
                        size_t* timing_id);
 
+  /// Metric/trace hooks for a transfer cursor whose operator span is
+  /// `span`; all-null when neither metrics nor trace are attached.
+  exec::TransferObservability TransferHooks(obs::SpanId span) const;
+
   dbms::Connection* conn_;
   int temp_counter_ = 0;
   bool share_transfers_ = true;
@@ -107,6 +129,12 @@ class PlanCompiler {
   RetryPolicy retry_;
   RecoveryCounters* counters_ = nullptr;
   std::string temp_prefix_ = "TANGO_TMP_";
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::SpanId trace_parent_ = obs::kNoSpan;
+  /// Operator span of each timing id in the plan being compiled (parallel
+  /// to the timing sink; kNoSpan when tracing is off).
+  std::vector<obs::SpanId> span_of_timing_;
 };
 
 }  // namespace tango

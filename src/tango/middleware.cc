@@ -1,10 +1,42 @@
 #include "tango/middleware.h"
 
 #include <chrono>
+#include <cstdio>
 
 namespace tango {
 
 namespace {
+
+/// Builds the EXPLAIN ANALYZE observation tree from one execution: the
+/// optimizer's estimates come from the plan nodes, the actuals from the
+/// timing sink the instrumented cursors filled in.
+obs::AnalyzeReport BuildReport(const CompiledPlan& compiled,
+                               const Middleware::Execution& exec) {
+  obs::AnalyzeReport report;
+  report.ops.resize(exec.timings.size());
+  for (const CompiledNode& node : compiled.nodes) {
+    if (node.timing_id >= report.ops.size()) continue;
+    obs::OpObservation& op = report.ops[node.timing_id];
+    const optimizer::PhysPlan& p = *node.plan;
+    const exec::AlgorithmTiming& t = exec.timings[node.timing_id];
+    op.label = optimizer::AlgorithmName(p.algorithm);
+    op.site = p.site == optimizer::Site::kMiddleware ? 'M' : 'D';
+    op.timing_id = node.timing_id;
+    op.children = t.child_ids;
+    op.est_rows = p.est_cardinality;
+    op.est_bytes = p.est_bytes;
+    op.est_cost_us = p.cost;
+    op.act_rows = t.rows;
+    op.inclusive_seconds = t.inclusive_seconds;
+    op.self_seconds = exec::SelfSeconds(exec.timings, node.timing_id);
+    op.worker_seconds = t.worker_seconds;
+    op.sql = node.sql;
+  }
+  report.root = compiled.root_timing_id;
+  report.elapsed_seconds = exec.elapsed_seconds;
+  report.result_rows = exec.rows.size();
+  return report;
+}
 
 /// \brief RAII janitor for one execution's temporary tables (§3.2: "the
 /// table must be dropped at the end of the query").
@@ -116,6 +148,7 @@ Result<Middleware::Prepared> Middleware::Prepare(const std::string& tsql_text) {
 Result<Middleware::Prepared> Middleware::PrepareLogical(
     const algebra::OpPtr& initial_plan,
     optimizer::SiteRestriction restriction) {
+  obs::ScopedSpan optimize_span(trace_, "optimize", "query");
   optimizer::Optimizer::Options opts;
   opts.semantic_temporal_selectivity = config_.semantic_temporal_selectivity;
   opts.site_restriction = restriction;
@@ -141,7 +174,20 @@ Result<Middleware::Prepared> Middleware::PrepareLogical(
 }
 
 Result<Middleware::Execution> Middleware::ExecuteOnce(
-    const optimizer::PhysPlanPtr& plan, const QueryControlPtr& control) {
+    const optimizer::PhysPlanPtr& plan, const QueryControlPtr& control,
+    obs::AnalyzeReport* report) {
+  // Declared first so the span closes after every other interval of this
+  // execution (compile, operators, retries, pool/prefetch threads).
+  obs::ScopedSpan execute_span(trace_, "execute", "query");
+  obs::Gauge& active =
+      metrics_->gauge("query.active", /*expect_zero_at_exit=*/true);
+  active.Increment();
+  struct ActiveGuard {
+    obs::Gauge* gauge;
+    ~ActiveGuard() { gauge->Decrement(); }
+  } active_guard{&active};
+  ++metrics_->counter("query.executions");
+
   PlanCompiler compiler(&connection_);
   compiler.set_share_common_transfers(config_.share_common_transfers);
   compiler.set_sort_memory_budget(config_.sort_memory_budget_bytes);
@@ -150,7 +196,18 @@ Result<Middleware::Execution> Middleware::ExecuteOnce(
   compiler.set_retry_policy(config_.retry);
   compiler.set_recovery_counters(&recovery_);
   compiler.set_temp_prefix("TANGO_TMP_" + std::to_string(++exec_seq_) + "_");
-  TANGO_ASSIGN_OR_RETURN(CompiledPlan compiled, compiler.Compile(plan));
+  compiler.set_metrics(metrics_);
+  compiler.set_trace(trace_, execute_span.id());
+  Result<CompiledPlan> compiled_or = [&] {
+    obs::ScopedSpan compile_span(trace_, "compile", "query",
+                                 execute_span.id());
+    return compiler.Compile(plan);
+  }();
+  if (!compiled_or.ok()) {
+    ++metrics_->counter("query.failures");
+    return compiled_or.status();
+  }
+  CompiledPlan compiled = compiled_or.MoveValueOrDie();
 
   // The temporary tables must be dropped at the end of the query (§3.2) no
   // matter how execution ends — the guard's destructor covers every exit.
@@ -169,7 +226,10 @@ Result<Middleware::Execution> Middleware::ExecuteOnce(
   compiled.root.reset();
 
   const Status cleanup = janitor.DropAll();
-  TANGO_RETURN_IF_ERROR(rows.status());
+  if (!rows.ok()) {
+    ++metrics_->counter("query.failures");
+    return rows.status();
+  }
 
   Execution exec;
   exec.schema = schema;
@@ -178,8 +238,10 @@ Result<Middleware::Execution> Middleware::ExecuteOnce(
   exec.timings = *compiled.timings;
   exec.sql_statements = compiled.sql_statements;
   exec.cleanup_status = cleanup;
+  metrics_->histogram("query.latency_seconds").Record(exec.elapsed_seconds);
 
   if (config_.adapt) ApplyFeedback(compiled, exec.timings);
+  if (report != nullptr) *report = BuildReport(compiled, exec);
   return exec;
 }
 
@@ -268,6 +330,25 @@ Result<Middleware::Execution> Middleware::Query(const std::string& tsql_text,
                                                 const QueryControlPtr& control) {
   TANGO_ASSIGN_OR_RETURN(Prepared prepared, Prepare(tsql_text));
   return Execute(prepared, control);
+}
+
+Result<obs::AnalyzeReport> Middleware::Analyze(const Prepared& prepared,
+                                               const QueryControlPtr& control) {
+  obs::AnalyzeReport report;
+  TANGO_RETURN_IF_ERROR(ExecuteOnce(prepared.plan, control, &report).status());
+  return report;
+}
+
+Result<std::string> Middleware::ExplainAnalyze(const Prepared& prepared,
+                                               const QueryControlPtr& control) {
+  TANGO_ASSIGN_OR_RETURN(obs::AnalyzeReport report, Analyze(prepared, control));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "elapsed=%.3fms",
+                report.elapsed_seconds * 1e3);
+  std::string out = "EXPLAIN ANALYZE rows=" +
+                    std::to_string(report.result_rows) + " " + buf + "\n";
+  out += obs::RenderAnalyzeTree(report);
+  return out;
 }
 
 void Middleware::ApplyFeedback(const CompiledPlan& compiled,

@@ -10,6 +10,9 @@
 #include "common/retry.h"
 #include "cost/cost_model.h"
 #include "dbms/connection.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "stats/stats.h"
 #include "tango/compiler.h"
@@ -60,11 +63,24 @@ class Middleware {
     /// Drop orphaned TANGO_TMP_* tables (leaked by a crashed earlier run)
     /// when the middleware starts.
     bool sweep_orphans_on_start = true;
+    /// Registry this middleware's metrics land in (wire, transfer, retry,
+    /// janitor, query series). Null (default) = a private per-instance
+    /// registry; pass obs::MetricsRegistry::Global() (or any shared
+    /// registry) to aggregate across middleware instances. Not owned.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit Middleware(dbms::Engine* engine) : Middleware(engine, Config()) {}
   Middleware(dbms::Engine* engine, Config config)
-      : config_(config), connection_(engine, config.wire) {
+      : config_(config),
+        owned_metrics_(config.metrics == nullptr
+                           ? std::make_unique<obs::MetricsRegistry>()
+                           : nullptr),
+        metrics_(config.metrics != nullptr ? config.metrics
+                                           : owned_metrics_.get()),
+        connection_(engine, config.wire),
+        recovery_(metrics_) {
+    connection_.set_metrics(metrics_);
     cost_model_.set_parallelism(config_.dop, config_.parallel_efficiency);
     // Best-effort: an unreachable DBMS at startup must not prevent the
     // middleware from coming up (the sweep reruns on the next start).
@@ -77,6 +93,16 @@ class Middleware {
   /// How often the recovery machinery ran (retries, drops, leaks,
   /// downgrades); shared with the transfer operators and the janitor.
   const RecoveryCounters& recovery_counters() const { return recovery_; }
+
+  /// The registry all of this middleware's metrics land in (per-instance by
+  /// default; Config::metrics overrides).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Attaches a span recorder: every subsequent execution records
+  /// optimize/compile/execute spans, per-operator spans, transfer retries
+  /// and pool/prefetch thread activity into it. Null detaches. Not owned;
+  /// must outlive any execution started while attached.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// Drops TANGO_TMP_* tables left behind by a previous run that died
   /// before its janitor could clean up. Returns the first drop failure
@@ -150,11 +176,25 @@ class Middleware {
   /// TRANSFER^M would send — without executing anything.
   Result<std::string> Explain(const Prepared& prepared);
 
+  /// EXPLAIN ANALYZE's data form: executes the prepared plan (no
+  /// degradation — the report must describe the chosen plan) and returns
+  /// the per-operator estimate-vs-actual observation tree.
+  Result<obs::AnalyzeReport> Analyze(const Prepared& prepared,
+                                     const QueryControlPtr& control = nullptr);
+
+  /// EXPLAIN ANALYZE: executes the prepared plan and renders the
+  /// per-operator tree — est vs actual rows, Q-error, estimated cost vs
+  /// measured self/inclusive/worker time, site — plus query totals.
+  Result<std::string> ExplainAnalyze(const Prepared& prepared,
+                                     const QueryControlPtr& control = nullptr);
+
  private:
   /// One compile-and-run of a physical plan, with the janitor guarding its
   /// temp tables. No degradation (that is the Prepared overload's job).
+  /// `report` (optional) receives the EXPLAIN ANALYZE observation tree.
   Result<Execution> ExecuteOnce(const optimizer::PhysPlanPtr& plan,
-                                const QueryControlPtr& control);
+                                const QueryControlPtr& control,
+                                obs::AnalyzeReport* report = nullptr);
 
   /// Applies the performance feedback of one execution to the cost factors.
   void ApplyFeedback(const CompiledPlan& compiled,
@@ -163,10 +203,15 @@ class Middleware {
   stats::RelStats StripHistograms(stats::RelStats rel) const;
 
   Config config_;
+  /// Owns the per-instance registry when Config::metrics is null; declared
+  /// before every member that holds counters from it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
   dbms::Connection connection_;
   cost::CostModel cost_model_;
   std::map<std::string, stats::RelStats> table_stats_;
   RecoveryCounters recovery_;
+  obs::TraceRecorder* trace_ = nullptr;
   /// Per-execution sequence number: each execution's temp tables get a
   /// unique prefix, so names can never collide with tables leaked earlier.
   uint64_t exec_seq_ = 0;
