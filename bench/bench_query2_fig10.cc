@@ -283,6 +283,11 @@ int Main() {
     }
     times.push_back(row);
 
+    // Per-window optimizer choice: the windows differ only in literals
+    // (one fingerprint), so clear the caches or every later window would
+    // just replay the first window's cached plan.
+    mw.plan_cache().Clear();
+    mw_no_hist.plan_cache().Clear();
     auto with_hist = mw.PrepareLogical(plans.initial);
     auto without = mw_no_hist.PrepareLogical(plans.initial);
     hist_choice.push_back(with_hist.ok()

@@ -117,6 +117,10 @@ int Main() {
     t2s.push_back(r2.ValueOrDie().elapsed_seconds);
 
     std::string pick = "ERR";
+    // The sweep varies only the max-start literal, so every point shares a
+    // fingerprint; this probe measures the optimizer's per-point choice,
+    // not the plan cache, which would otherwise replay the first point.
+    mw.plan_cache().Clear();
     auto prepared = mw.PrepareLogical(plans.initial);
     if (prepared.ok()) {
       std::function<bool(const PhysPlanPtr&)> mw_join =

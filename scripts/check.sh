@@ -18,6 +18,11 @@
 # printed a metrics-registry leak warning (an expect-zero gauge, e.g.
 # pool.queue_depth or query.active, that did not drain back to zero).
 #
+# The adaptive-plan-management suites (plan_cache_test, feedback_test,
+# fingerprint_test) join the by-name matrix too: the sharded plan cache and
+# the feedback store are hit concurrently from every query thread, and
+# plan_cache_test's ConcurrentHammer only means something under TSan.
+#
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 
 set -euo pipefail
@@ -27,6 +32,10 @@ JOBS="${1:-$(nproc)}"
 
 ROBUSTNESS_SUITES='^(fault_matrix_test|wire_fuzz_test|recovery_test)$'
 OBS_SUITES='^(obs_test|trace_test|explain_analyze_test)$'
+ADAPT_SUITES='^(plan_cache_test|feedback_test|fingerprint_test)$'
+
+# A stuck test under a sanitizer leg should fail the run, not hang it.
+CTEST_TIMEOUT=600
 
 # ctest rewrites LastTest.log on every invocation, so this runs after each
 # one: no test binary may print a metrics-registry leak warning.
@@ -44,14 +53,17 @@ run_config() {
   echo "=== ${name}: configure + build + ctest (${dir}) ==="
   cmake -B "${dir}" -S . -DTANGO_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" --timeout "${CTEST_TIMEOUT}")
   check_leaks "${name}" "${dir}"
   if [[ -n "${sanitize}" ]]; then
     echo "=== ${name}: robustness suites (fault matrix + wire fuzz + recovery) ==="
-    (cd "${dir}" && ctest --output-on-failure -R "${ROBUSTNESS_SUITES}")
+    (cd "${dir}" && ctest --output-on-failure -R "${ROBUSTNESS_SUITES}" --timeout "${CTEST_TIMEOUT}")
     check_leaks "${name}" "${dir}"
     echo "=== ${name}: observability suites (metrics + trace + explain analyze) ==="
-    (cd "${dir}" && ctest --output-on-failure -R "${OBS_SUITES}")
+    (cd "${dir}" && ctest --output-on-failure -R "${OBS_SUITES}" --timeout "${CTEST_TIMEOUT}")
+    check_leaks "${name}" "${dir}"
+    echo "=== ${name}: adaptive suites (plan cache + feedback + fingerprint) ==="
+    (cd "${dir}" && ctest --output-on-failure -R "${ADAPT_SUITES}" --timeout "${CTEST_TIMEOUT}")
     check_leaks "${name}" "${dir}"
   fi
   echo "=== ${name}: OK ==="

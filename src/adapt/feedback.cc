@@ -1,0 +1,41 @@
+#include "adapt/feedback.h"
+
+#include "obs/explain.h"
+
+namespace tango {
+namespace adapt {
+
+double FeedbackStore::Record(uint64_t fingerprint,
+                             const std::vector<Observation>& observations) {
+  double worst = 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<uint64_t, double>& per_node = observed_[fingerprint];
+  for (const Observation& o : observations) {
+    if (o.node_key == 0) continue;
+    per_node[o.node_key] = static_cast<double>(o.act_rows);
+    const double q = obs::QError(o.est_rows, static_cast<double>(o.act_rows));
+    if (q > worst) worst = q;
+  }
+  return worst;
+}
+
+std::map<uint64_t, double> FeedbackStore::OverridesFor(
+    uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = observed_.find(fingerprint);
+  if (it == observed_.end()) return {};
+  return it->second;
+}
+
+void FeedbackStore::Forget(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observed_.erase(fingerprint);
+}
+
+size_t FeedbackStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_.size();
+}
+
+}  // namespace adapt
+}  // namespace tango

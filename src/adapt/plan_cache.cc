@@ -1,0 +1,207 @@
+#include "adapt/plan_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tango {
+namespace adapt {
+
+PlanCache::PlanCache(const PlanCacheConfig& config,
+                     obs::MetricsRegistry* metrics)
+    : config_(config),
+      per_shard_capacity_(std::max<size_t>(
+          1, (std::max<size_t>(1, config.capacity) +
+              std::max<size_t>(1, config.shards) - 1) /
+                 std::max<size_t>(1, config.shards))) {
+  const size_t n = std::max<size_t>(1, config.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  if (metrics != nullptr) {
+    m_hit_ = &metrics->counter("plancache.hit");
+    m_miss_ = &metrics->counter("plancache.miss");
+    m_stale_hit_ = &metrics->counter("plancache.stale_hit");
+    m_insert_ = &metrics->counter("plancache.insert");
+    m_eviction_ = &metrics->counter("plancache.eviction");
+    m_invalidation_ = &metrics->counter("plancache.invalidation");
+    m_entries_ = &metrics->gauge("plancache.entries");
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardOf(const PlanKey& key) {
+  // Splash the fingerprint so nearby hashes land on different shards.
+  const uint64_t h = key.fingerprint * 0x9e3779b97f4a7c15ull;
+  return *shards_[(h >> 32) % shards_.size()];
+}
+
+std::string PlanCache::IndexKey(const PlanKey& key) {
+  return std::to_string(key.fingerprint) + "|" + key.config_key + "|" +
+         key.canon;
+}
+
+bool PlanCache::Drifted(const CachedPlan& plan,
+                        const std::vector<double>& current_factors) const {
+  if (plan.factor_snapshot.size() != current_factors.size()) {
+    return !plan.factor_snapshot.empty() || !current_factors.empty();
+  }
+  for (size_t i = 0; i < current_factors.size(); ++i) {
+    const double old_f = plan.factor_snapshot[i];
+    const double denom = std::max(std::abs(old_f), 1e-12);
+    if (std::abs(current_factors[i] - old_f) / denom >
+        config_.cost_drift_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PlanCache::EntryPtr PlanCache::Lookup(
+    const PlanKey& key, const std::vector<double>& current_factors) {
+  Shard& shard = ShardOf(key);
+  const std::string ik = IndexKey(key);
+  EntryPtr entry;
+  bool drifted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(ik);
+    if (it != shard.index.end()) {
+      entry = it->second->second;
+      const auto plan = entry->plan();
+      if (plan != nullptr && Drifted(*plan, current_factors)) {
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        drifted = true;
+        entry = nullptr;
+      } else {
+        // Touch: move to the front of the shard's LRU list.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      }
+    }
+  }
+  if (drifted) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (m_invalidation_ != nullptr) m_invalidation_->Increment();
+    if (m_entries_ != nullptr) m_entries_->Decrement();
+  }
+  if (entry == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (m_miss_ != nullptr) m_miss_->Increment();
+    return nullptr;
+  }
+  if (entry->stale.load(std::memory_order_relaxed)) {
+    stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (m_stale_hit_ != nullptr) m_stale_hit_->Increment();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (m_hit_ != nullptr) m_hit_->Increment();
+  }
+  return entry;
+}
+
+PlanCache::EntryPtr PlanCache::Insert(const PlanKey& key, CachedPlan plan) {
+  Shard& shard = ShardOf(key);
+  const std::string ik = IndexKey(key);
+  auto entry = std::make_shared<Entry>();
+  entry->plan_ = std::make_shared<const CachedPlan>(std::move(plan));
+  size_t evicted = 0;
+  bool replaced = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(ik);
+    if (it != shard.index.end()) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      replaced = true;
+    }
+    shard.lru.emplace_front(key, entry);
+    shard.index[ik] = shard.lru.begin();
+    while (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(IndexKey(shard.lru.back().first));
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (m_insert_ != nullptr) m_insert_->Increment();
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (m_eviction_ != nullptr) m_eviction_->Increment(evicted);
+  }
+  const int64_t delta = 1 - static_cast<int64_t>(replaced ? 1 : 0) -
+                        static_cast<int64_t>(evicted);
+  if (m_entries_ != nullptr && delta != 0) m_entries_->Increment(delta);
+  return entry;
+}
+
+void PlanCache::InvalidateTables(const std::vector<std::string>& tables) {
+  if (tables.empty()) return;
+  std::vector<std::string> upper;
+  upper.reserve(tables.size());
+  for (const std::string& t : tables) upper.push_back(ToUpper(t));
+  size_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      const auto plan = it->second->plan();
+      const bool reads_one =
+          plan != nullptr &&
+          std::any_of(upper.begin(), upper.end(), [&](const std::string& t) {
+            return std::find(plan->tables.begin(), plan->tables.end(), t) !=
+                   plan->tables.end();
+          });
+      if (reads_one) {
+        shard->index.erase(IndexKey(it->first));
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    if (m_invalidation_ != nullptr) m_invalidation_->Increment(dropped);
+    if (m_entries_ != nullptr) {
+      m_entries_->Decrement(static_cast<int64_t>(dropped));
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  size_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->lru.size();
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    if (m_invalidation_ != nullptr) m_invalidation_->Increment(dropped);
+    if (m_entries_ != nullptr) {
+      m_entries_->Decrement(static_cast<int64_t>(dropped));
+    }
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  Counters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.stale_hits = stale_hits_.load(std::memory_order_relaxed);
+  c.inserts = inserts_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace adapt
+}  // namespace tango

@@ -47,6 +47,10 @@ struct Expr {
 
   // kLiteral
   Value literal;
+  /// Plan-cache parameter slot this literal was lifted into (adapt::
+  /// ParameterizeQuery tags literal sites in preorder); -1 = untagged.
+  /// Ignored by Equals/ToString — it is bookkeeping, not semantics.
+  int param_id = -1;
 
   // kUnary / kBinary
   UnaryOp unary_op = UnaryOp::kNot;

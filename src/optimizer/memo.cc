@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "adapt/fingerprint.h"
+
 namespace tango {
 namespace optimizer {
 
@@ -102,6 +104,19 @@ Result<size_t> Memo::Insert(const algebra::OpPtr& op,
     Group g;
     g.schema = op->schema;
     g.stats = std::move(stats);
+    std::vector<uint64_t> child_keys;
+    child_keys.reserve(children.size());
+    for (size_t c : children) child_keys.push_back(groups_[c].key);
+    g.key = adapt::NodeKey(*op, child_keys);
+    // Cardinality feedback: an observed actual for this group replaces the
+    // derived estimate before any parent group derives from it (CopyIn and
+    // the rules both create groups bottom-up).
+    if (overrides_ != nullptr) {
+      const auto ov = overrides_->find(g.key);
+      if (ov != overrides_->end()) {
+        g.stats.cardinality = std::max(1.0, ov->second);
+      }
+    }
     groups_.push_back(std::move(g));
     group_id = groups_.size() - 1;
   } else {

@@ -1,6 +1,7 @@
 #ifndef TANGO_OPTIMIZER_MEMO_H_
 #define TANGO_OPTIMIZER_MEMO_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -32,6 +33,12 @@ struct Group {
   std::vector<MExpr> exprs;
   Schema schema;
   stats::RelStats stats;
+  /// Stable identity for cardinality feedback (adapt::NodeKey over the
+  /// literal-lifted canon of the group's first expression and its child
+  /// group keys). Deterministic across optimizations of the same
+  /// fingerprint, so observed actuals recorded under this key find the
+  /// same group on re-optimization. 0 = unkeyed (should not happen).
+  uint64_t key = 0;
 };
 
 /// \brief The Volcano memo: equivalence classes, their elements, and the
@@ -62,6 +69,13 @@ class Memo {
       std::function<Result<stats::RelStats>(const std::string& table)>;
   void set_scan_stats_provider(ScanStatsProvider provider) {
     scan_stats_ = std::move(provider);
+  }
+
+  /// Observed cardinalities (group key -> rows) injected over the derived
+  /// estimates at group creation — set before CopyIn so parents derive from
+  /// the corrected child statistics. Not owned; may be null.
+  void set_cardinality_overrides(const std::map<uint64_t, double>* overrides) {
+    overrides_ = overrides;
   }
 
   /// Applies the transformation rules to saturation (bounded by
@@ -112,6 +126,7 @@ class Memo {
   std::set<std::string> commute_products_;
   size_t generated_ = 0;
   ScanStatsProvider scan_stats_;
+  const std::map<uint64_t, double>* overrides_ = nullptr;
 };
 
 }  // namespace optimizer

@@ -58,6 +58,7 @@ PhysPlanPtr Optimizer::MakeNode(Algorithm alg, algebra::OpPtr op, Site site,
   for (const PhysPlanPtr& c : children) node->cost += c->cost;
   node->est_cardinality = group.stats.cardinality;
   node->est_bytes = group.stats.size();
+  node->feedback_key = group.key;
   node->children = std::move(children);
   return node;
 }
@@ -74,6 +75,7 @@ Result<Optimizer::Optimized> Optimizer::Optimize(algebra::OpPtr initial_plan) {
   mopts.semantic_temporal_selectivity = options_.semantic_temporal_selectivity;
   Memo memo(mopts);
   memo.set_scan_stats_provider(scan_stats_);
+  memo.set_cardinality_overrides(options_.cardinality_overrides);
   TANGO_ASSIGN_OR_RETURN(size_t root, memo.CopyIn(initial_plan));
   if (options_.enable_exploration) {
     TANGO_RETURN_IF_ERROR(memo.Explore().status());

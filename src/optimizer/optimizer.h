@@ -48,6 +48,10 @@ class Optimizer {
     /// cannot be planned under kDbmsOnly; Optimize then fails cleanly and
     /// the caller may try the other restriction.
     SiteRestriction site_restriction = SiteRestriction::kNone;
+    /// Observed cardinalities (memo group key -> rows) from the adaptive
+    /// feedback loop, injected over the §3.3 estimates. Not owned; may be
+    /// null (no feedback).
+    const std::map<uint64_t, double>* cardinality_overrides = nullptr;
   };
 
   explicit Optimizer(const cost::CostModel* model)

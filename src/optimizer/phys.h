@@ -1,6 +1,7 @@
 #ifndef TANGO_OPTIMIZER_PHYS_H_
 #define TANGO_OPTIMIZER_PHYS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,6 +88,10 @@ struct PhysPlan {
   /// Estimated output cardinality and total bytes (from derived statistics).
   double est_cardinality = 0;
   double est_bytes = 0;
+  /// Memo group key of the equivalence class this node computes (stable
+  /// across re-optimizations of the same fingerprint; see adapt::NodeKey).
+  /// Keys actual-vs-estimated cardinality feedback. 0 on synthetic nodes.
+  uint64_t feedback_key = 0;
 
   std::vector<PhysPlanPtr> children;
 

@@ -3,9 +3,36 @@
 #include <chrono>
 #include <cstdio>
 
+#include "adapt/fingerprint.h"
+
 namespace tango {
 
 namespace {
+
+/// The EXPLAIN / EXPLAIN ANALYZE cache-provenance line. Counters are read
+/// live from the entry, so an ExplainAnalyze run reports the execution it
+/// just performed.
+std::string ProvenanceLine(const Middleware::Prepared& prepared) {
+  const char* source = "uncached";
+  switch (prepared.source) {
+    case Middleware::Prepared::Source::kUncached: source = "uncached"; break;
+    case Middleware::Prepared::Source::kFresh: source = "fresh"; break;
+    case Middleware::Prepared::Source::kCached: source = "cached"; break;
+    case Middleware::Prepared::Source::kReoptimized:
+      source = "reoptimized";
+      break;
+  }
+  std::string out = std::string("plan: ") + source;
+  if (prepared.cache_entry != nullptr) {
+    out += ", executions=" +
+           std::to_string(prepared.cache_entry->executions.load(
+               std::memory_order_relaxed));
+    out += ", reoptimized=" +
+           std::to_string(prepared.cache_entry->reoptimized.load(
+               std::memory_order_relaxed));
+  }
+  return out + "\n";
+}
 
 /// Builds the EXPLAIN ANALYZE observation tree from one execution: the
 /// optimizer's estimates come from the plan nodes, the actuals from the
@@ -114,6 +141,8 @@ Status Middleware::CollectStatistics(const std::vector<std::string>& tables) {
     if (!config_.use_histograms) rel = StripHistograms(std::move(rel));
     table_stats_[ToUpper(t)] = std::move(rel);
   }
+  // The stats cached plans were costed under are gone; drop those plans.
+  plan_cache_.InvalidateTables(tables);
   return Status::OK();
 }
 
@@ -148,10 +177,86 @@ Result<Middleware::Prepared> Middleware::Prepare(const std::string& tsql_text) {
 Result<Middleware::Prepared> Middleware::PrepareLogical(
     const algebra::OpPtr& initial_plan,
     optimizer::SiteRestriction restriction) {
+  if (!config_.plan_cache.enable) {
+    return OptimizeLogical(initial_plan, restriction, nullptr);
+  }
+  // Parameterize: literal sites become ordered slots (Expr::param_id) while
+  // keeping their values in place, so optimization sees true selectivities
+  // and the produced plan can be rebound to other literals of the same
+  // shape.
+  obs::ScopedSpan lookup_span(trace_, "adapt.lookup", "adapt");
+  const adapt::ParameterizedQuery pq = adapt::ParameterizeQuery(initial_plan);
+  adapt::PlanKey key;
+  key.fingerprint = pq.hash;
+  key.canon = pq.canon;
+  key.config_key = PlanConfigKey(restriction);
+  const std::vector<double> factors = FactorSnapshot();
+
+  adapt::PlanCache::EntryPtr entry = plan_cache_.Lookup(key, factors);
+  if (entry != nullptr) {
+    const std::shared_ptr<const adapt::CachedPlan> cached = entry->plan();
+    if (cached != nullptr && !entry->stale.load(std::memory_order_acquire)) {
+      Prepared prepared;
+      prepared.initial_plan =
+          adapt::BindLogicalParams(cached->initial_plan, pq.params);
+      prepared.plan = adapt::BindPhysParams(cached->plan, pq.params);
+      prepared.num_classes = cached->num_classes;
+      prepared.num_elements = cached->num_elements;
+      prepared.num_physical = cached->num_physical;
+      prepared.source = Prepared::Source::kCached;
+      prepared.fingerprint = pq.hash;
+      prepared.cache_entry = entry;
+      return prepared;
+    }
+  }
+
+  // Miss, or a stale entry (an execution's Q-error exceeded the bound):
+  // optimize the tagged plan — with the observed cardinalities injected
+  // over the §3.3 estimates when this fingerprint has executed before —
+  // and (re)install the result.
+  const bool reoptimizing = entry != nullptr;
+  const std::map<uint64_t, double> overrides = feedback_.OverridesFor(pq.hash);
+  Result<Prepared> fresh_or = [&] {
+    if (!reoptimizing) {
+      return OptimizeLogical(pq.plan, restriction,
+                             overrides.empty() ? nullptr : &overrides);
+    }
+    obs::ScopedSpan reoptimize_span(trace_, "adapt.reoptimize", "adapt");
+    ++metrics_->counter("reoptimize.count");
+    return OptimizeLogical(pq.plan, restriction,
+                           overrides.empty() ? nullptr : &overrides);
+  }();
+  TANGO_RETURN_IF_ERROR(fresh_or.status());
+  Prepared fresh = fresh_or.MoveValueOrDie();
+
+  adapt::CachedPlan payload;
+  payload.initial_plan = pq.plan;
+  payload.plan = fresh.plan;
+  payload.num_classes = fresh.num_classes;
+  payload.num_elements = fresh.num_elements;
+  payload.num_physical = fresh.num_physical;
+  payload.tables = adapt::ReferencedTables(pq.plan);
+  payload.factor_snapshot = FactorSnapshot();
+  if (reoptimizing) {
+    entry->Refresh(std::move(payload));
+    fresh.source = Prepared::Source::kReoptimized;
+  } else {
+    entry = plan_cache_.Insert(key, std::move(payload));
+    fresh.source = Prepared::Source::kFresh;
+  }
+  fresh.fingerprint = pq.hash;
+  fresh.cache_entry = entry;
+  return fresh;
+}
+
+Result<Middleware::Prepared> Middleware::OptimizeLogical(
+    const algebra::OpPtr& initial_plan, optimizer::SiteRestriction restriction,
+    const std::map<uint64_t, double>* overrides) {
   obs::ScopedSpan optimize_span(trace_, "optimize", "query");
   optimizer::Optimizer::Options opts;
   opts.semantic_temporal_selectivity = config_.semantic_temporal_selectivity;
   opts.site_restriction = restriction;
+  opts.cardinality_overrides = overrides;
   optimizer::Optimizer opt(&cost_model_, opts);
   opt.set_scan_stats_provider(
       [this](const std::string& table) -> Result<stats::RelStats> {
@@ -175,7 +280,7 @@ Result<Middleware::Prepared> Middleware::PrepareLogical(
 
 Result<Middleware::Execution> Middleware::ExecuteOnce(
     const optimizer::PhysPlanPtr& plan, const QueryControlPtr& control,
-    obs::AnalyzeReport* report) {
+    obs::AnalyzeReport* report, const Prepared* provenance) {
   // Declared first so the span closes after every other interval of this
   // execution (compile, operators, retries, pool/prefetch threads).
   obs::ScopedSpan execute_span(trace_, "execute", "query");
@@ -241,8 +346,38 @@ Result<Middleware::Execution> Middleware::ExecuteOnce(
   metrics_->histogram("query.latency_seconds").Record(exec.elapsed_seconds);
 
   if (config_.adapt) ApplyFeedback(compiled, exec.timings);
+  if (provenance != nullptr && provenance->cache_entry != nullptr) {
+    RecordCardinalityFeedback(compiled, exec.timings, *provenance);
+  }
   if (report != nullptr) *report = BuildReport(compiled, exec);
   return exec;
+}
+
+void Middleware::RecordCardinalityFeedback(const CompiledPlan& compiled,
+                                           const exec::TimingSink& timings,
+                                           const Prepared& provenance) {
+  std::vector<adapt::Observation> observations;
+  observations.reserve(compiled.nodes.size());
+  for (const CompiledNode& node : compiled.nodes) {
+    const optimizer::PhysPlan& p = *node.plan;
+    // TRANSFER^D sinks rows into a temp table; its timing does not observe
+    // the group's output cardinality. Synthetic nodes carry no key.
+    if (p.feedback_key == 0 ||
+        p.algorithm == optimizer::Algorithm::kTransferD ||
+        node.timing_id >= timings.size()) {
+      continue;
+    }
+    observations.push_back(
+        {p.feedback_key, p.est_cardinality, timings[node.timing_id].rows});
+  }
+  const double worst =
+      feedback_.Record(provenance.fingerprint, observations);
+  adapt::PlanCache::Entry& entry = *provenance.cache_entry;
+  entry.executions.fetch_add(1, std::memory_order_relaxed);
+  if (worst > config_.plan_cache.q_error_bound &&
+      !entry.stale.exchange(true, std::memory_order_acq_rel)) {
+    ++metrics_->counter("reoptimize.stale_marks");
+  }
 }
 
 Result<Middleware::Execution> Middleware::Execute(
@@ -252,7 +387,8 @@ Result<Middleware::Execution> Middleware::Execute(
 
 Result<Middleware::Execution> Middleware::Execute(
     const Prepared& prepared, const QueryControlPtr& control) {
-  Result<Execution> first = ExecuteOnce(prepared.plan, control);
+  Result<Execution> first =
+      ExecuteOnce(prepared.plan, control, nullptr, &prepared);
   if (first.ok() || !config_.degrade_on_failure) return first;
   // Degrade only on an exhausted retry budget (kUnavailable). kTimeout and
   // kAborted mean the query's deadline/cancellation governs — re-running a
@@ -283,8 +419,8 @@ Result<Middleware::Execution> Middleware::Execute(
   if (!fallback.ok()) return first;
 
   ++recovery_.downgrades;
-  Result<Execution> second =
-      ExecuteOnce(fallback.ValueOrDie().plan, control);
+  Result<Execution> second = ExecuteOnce(fallback.ValueOrDie().plan, control,
+                                         nullptr, &fallback.ValueOrDie());
   if (!second.ok()) return second;
   Execution degraded = second.MoveValueOrDie();
   degraded.degraded = true;
@@ -313,7 +449,8 @@ Result<std::string> Middleware::Explain(const Prepared& prepared) {
   // Compilation creates the T^D temporaries' names only; nothing executed —
   // but any temp tables were not created either (that happens in Init), so
   // there is nothing to drop.
-  std::string out = "initial plan:\n" + prepared.initial_plan->ToString();
+  std::string out = ProvenanceLine(prepared);
+  out += "initial plan:\n" + prepared.initial_plan->ToString();
   out += "\nchosen physical plan (" + std::to_string(prepared.num_classes) +
          " classes, " + std::to_string(prepared.num_elements) +
          " elements, " + std::to_string(prepared.num_physical) +
@@ -335,7 +472,8 @@ Result<Middleware::Execution> Middleware::Query(const std::string& tsql_text,
 Result<obs::AnalyzeReport> Middleware::Analyze(const Prepared& prepared,
                                                const QueryControlPtr& control) {
   obs::AnalyzeReport report;
-  TANGO_RETURN_IF_ERROR(ExecuteOnce(prepared.plan, control, &report).status());
+  TANGO_RETURN_IF_ERROR(
+      ExecuteOnce(prepared.plan, control, &report, &prepared).status());
   return report;
 }
 
@@ -347,6 +485,7 @@ Result<std::string> Middleware::ExplainAnalyze(const Prepared& prepared,
                 report.elapsed_seconds * 1e3);
   std::string out = "EXPLAIN ANALYZE rows=" +
                     std::to_string(report.result_rows) + " " + buf + "\n";
+  out += ProvenanceLine(prepared);
   out += obs::RenderAnalyzeTree(report);
   return out;
 }
@@ -491,6 +630,22 @@ void Middleware::ApplyFeedback(const CompiledPlan& compiled,
         break;
     }
   }
+}
+
+std::vector<double> Middleware::FactorSnapshot() const {
+  const cost::CostFactors& f = cost_model_.factors();
+  return {f.tm,    f.td,    f.sem,   f.taggm1, f.taggm2, f.taggd1,
+          f.taggd2, f.sortm, f.projm, f.mjm,    f.mjout,  f.tjm,
+          f.dupm,   f.coalm, f.diffm, f.scand,  f.sortd,  f.joind,
+          f.joindout, f.prodd, f.idxd, f.stmt};
+}
+
+std::string Middleware::PlanConfigKey(
+    optimizer::SiteRestriction restriction) const {
+  return "dop=" + std::to_string(config_.dop) +
+         "|hist=" + (config_.use_histograms ? "1" : "0") +
+         "|sem=" + (config_.semantic_temporal_selectivity ? "1" : "0") +
+         "|restrict=" + std::to_string(static_cast<int>(restriction));
 }
 
 }  // namespace tango

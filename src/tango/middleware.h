@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "adapt/feedback.h"
+#include "adapt/plan_cache.h"
 #include "common/cancel.h"
 #include "common/retry.h"
 #include "cost/cost_model.h"
@@ -68,6 +70,9 @@ class Middleware {
     /// registry; pass obs::MetricsRegistry::Global() (or any shared
     /// registry) to aggregate across middleware instances. Not owned.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Adaptive plan management: the fingerprinted plan cache and the
+    /// cardinality-feedback re-optimization loop (see DESIGN.md §10).
+    adapt::PlanCacheConfig plan_cache;
   };
 
   explicit Middleware(dbms::Engine* engine) : Middleware(engine, Config()) {}
@@ -79,7 +84,8 @@ class Middleware {
         metrics_(config.metrics != nullptr ? config.metrics
                                            : owned_metrics_.get()),
         connection_(engine, config.wire),
-        recovery_(metrics_) {
+        recovery_(metrics_),
+        plan_cache_(config.plan_cache, metrics_) {
     connection_.set_metrics(metrics_);
     cost_model_.set_parallelism(config_.dop, config_.parallel_efficiency);
     // Best-effort: an unreachable DBMS at startup must not prevent the
@@ -97,6 +103,11 @@ class Middleware {
   /// The registry all of this middleware's metrics land in (per-instance by
   /// default; Config::metrics overrides).
   obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// The fingerprinted plan cache (counters, invalidation — tests/benches).
+  adapt::PlanCache& plan_cache() { return plan_cache_; }
+  /// Observed per-node cardinalities recorded by instrumented executions.
+  adapt::FeedbackStore& feedback_store() { return feedback_; }
 
   /// Attaches a span recorder: every subsequent execution records
   /// optimize/compile/execute spans, per-operator spans, transfer retries
@@ -123,6 +134,17 @@ class Middleware {
     size_t num_classes = 0;
     size_t num_elements = 0;
     size_t num_physical = 0;
+    /// Where the plan came from: kUncached = cache disabled, kFresh =
+    /// optimized and inserted, kCached = rebound from a cached entry,
+    /// kReoptimized = the entry was stale (Q-error exceeded the bound) and
+    /// was re-optimized with observed cardinalities injected.
+    enum class Source { kUncached, kFresh, kCached, kReoptimized };
+    Source source = Source::kUncached;
+    /// Parameterized-query fingerprint (0 when the cache is disabled).
+    uint64_t fingerprint = 0;
+    /// The cache entry backing this plan; executions record cardinality
+    /// feedback against it. Null when the cache is disabled.
+    adapt::PlanCache::EntryPtr cache_entry;
   };
 
   /// Parses, plans, and optimizes a temporal-SQL query.
@@ -191,10 +213,33 @@ class Middleware {
  private:
   /// One compile-and-run of a physical plan, with the janitor guarding its
   /// temp tables. No degradation (that is the Prepared overload's job).
-  /// `report` (optional) receives the EXPLAIN ANALYZE observation tree.
+  /// `report` (optional) receives the EXPLAIN ANALYZE observation tree;
+  /// `provenance` (optional) identifies the cache entry and fingerprint the
+  /// execution's observed cardinalities are recorded against.
   Result<Execution> ExecuteOnce(const optimizer::PhysPlanPtr& plan,
                                 const QueryControlPtr& control,
-                                obs::AnalyzeReport* report = nullptr);
+                                obs::AnalyzeReport* report = nullptr,
+                                const Prepared* provenance = nullptr);
+
+  /// The optimization pipeline proper (what PrepareLogical was before the
+  /// plan cache): memo + top-down physical planning, with `overrides`
+  /// (observed cardinalities by memo group key) injected over the §3.3
+  /// estimates when non-null.
+  Result<Prepared> OptimizeLogical(const algebra::OpPtr& initial_plan,
+                                   optimizer::SiteRestriction restriction,
+                                   const std::map<uint64_t, double>* overrides);
+
+  /// Records one execution's per-node estimate-vs-actual cardinalities
+  /// against the provenance's fingerprint and marks the cache entry stale
+  /// when the worst Q-error exceeds the configured bound.
+  void RecordCardinalityFeedback(const CompiledPlan& compiled,
+                                 const exec::TimingSink& timings,
+                                 const Prepared& provenance);
+
+  /// Cost factors in a fixed order, for the cache's drift detection.
+  std::vector<double> FactorSnapshot() const;
+  /// Plan-relevant configuration dimensions of the cache key.
+  std::string PlanConfigKey(optimizer::SiteRestriction restriction) const;
 
   /// Applies the performance feedback of one execution to the cost factors.
   void ApplyFeedback(const CompiledPlan& compiled,
@@ -211,6 +256,8 @@ class Middleware {
   cost::CostModel cost_model_;
   std::map<std::string, stats::RelStats> table_stats_;
   RecoveryCounters recovery_;
+  adapt::PlanCache plan_cache_;
+  adapt::FeedbackStore feedback_;
   obs::TraceRecorder* trace_ = nullptr;
   /// Per-execution sequence number: each execution's temp tables get a
   /// unique prefix, so names can never collide with tables leaked earlier.

@@ -95,6 +95,7 @@ TEST(ExplainAnalyzeSnapshotTest, Query1TemporalAggregation) {
   const std::string actual = RunExplainAnalyze(&mw, kQuery1);
   const std::string golden =
       "EXPLAIN ANALYZE rows=199 elapsed=#\n"
+      "plan: fresh, executions=1, reoptimized=0\n"
       "TAGGR^M [M] rows est=176 act=199 q=1.13 cost=# self=# incl=# work=#\n"
       "  TRANSFER^M [M] rows est=150 act=150 q=1.00 cost=# self=# incl=# "
       "work=#\n";
@@ -109,6 +110,7 @@ TEST(ExplainAnalyzeSnapshotTest, Query2TemporalJoin) {
   const std::string actual = RunExplainAnalyze(&mw, kQuery2);
   const std::string golden =
       "EXPLAIN ANALYZE rows=557 elapsed=#\n"
+      "plan: fresh, executions=1, reoptimized=0\n"
       "TJOIN^M [M] rows est=440 act=557 q=1.27 cost=# self=# incl=# work=#\n"
       "  TRANSFER^M [M] rows est=120 act=120 q=1.00 cost=# self=# incl=# "
       "work=#\n"
@@ -130,6 +132,7 @@ TEST(ExplainAnalyzeSnapshotTest, Query3AggregationJoinWithTransferD) {
   const std::string actual = RunExplainAnalyze(&mw, kQuery3);
   const std::string golden =
       "EXPLAIN ANALYZE rows=646 elapsed=#\n"
+      "plan: fresh, executions=1, reoptimized=0\n"
       "TRANSFER^M [M] rows est=521 act=646 q=1.24 cost=# self=# incl=# "
       "work=#\n"
       "  TRANSFER^D [D] rows est=176 act=- q=- cost=# self=# incl=# work=#\n"
@@ -149,6 +152,7 @@ TEST(ExplainAnalyzeSnapshotTest, Query4CoalescedAggregation) {
   const std::string actual = RunExplainAnalyze(&mw, kQuery4);
   const std::string golden =
       "EXPLAIN ANALYZE rows=177 elapsed=#\n"
+      "plan: fresh, executions=1, reoptimized=0\n"
       "SORT^M [M] rows est=123 act=177 q=1.43 cost=# self=# incl=# work=#\n"
       "  COALESCE^M [M] rows est=123 act=177 q=1.43 cost=# self=# incl=# "
       "work=#\n"

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/fingerprint.h"
 #include "common/rng.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -164,6 +165,130 @@ TEST(SqlParserFuzzTest, PathologicalInputsReturnStatus) {
     (void)tsql::Parser::Parse(input, FuzzSchema);
   }
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint stability fuzzing (adapt/fingerprint): replacing every lifted
+// literal with a random value of the same type must never change the
+// fingerprint (that is the plan cache's key invariant), while structurally
+// distinct seed queries must never share one.
+
+/// Seeds for the fingerprint section: every one parses through the temporal
+/// parser under FuzzSchema and carries at least one liftable literal (the
+/// crash seeds above intentionally include DDL and unsupported syntax, which
+/// never reach canonicalization).
+const char* const kFpSeeds[] = {
+    "SELECT PosID, EmpName FROM POSITION WHERE T1 < 100 AND T2 > 5",
+    "SELECT PosID FROM POSITION WHERE T1 < 100 AND T2 > 5 ORDER BY PosID DESC",
+    "SELECT A, B FROM T WHERE A > 10 AND B = 'abc'",
+    "SELECT A FROM T WHERE A + 2 > 7 AND A <> 3",
+    "SELECT G FROM R WHERE G >= 4 OR G <= 1",
+    "SELECT P.POSID FROM TANGO_TMP_1 A, POSITION P "
+    "WHERE A.POSID = P.POSID AND A.T1 < 44 AND P.T2 > 9",
+    "TEMPORAL SELECT PosID, T1, T2, COUNT(PosID) AS CNT FROM POSITION "
+    "WHERE PosID > 3 GROUP BY PosID OVER TIME ORDER BY PosID",
+    "TEMPORAL SELECT G FROM R WHERE G = 2 AND T1 < 8",
+    "SELECT A FROM T WHERE B < 'zz' AND A * 1.5 > 2.25",
+    "SELECT DISTINCT A FROM T WHERE A BETWEEN 1 AND 10",
+};
+
+Value RandomOfSameType(const Value& v, Rng* rng) {
+  if (v.is_int()) return Value(rng->Uniform(-100000, 100000));
+  if (v.is_double()) {
+    return Value(static_cast<double>(rng->Uniform(-1000000, 1000000)) / 128.0);
+  }
+  if (v.is_string()) {
+    std::string s;
+    const int len = static_cast<int>(rng->Uniform(0, 12));
+    for (int i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng->Uniform(0, 25));
+    }
+    return Value(s);
+  }
+  return v;
+}
+
+TEST(FingerprintFuzzTest, LiteralRandomizationPreservesFingerprint) {
+  Rng rng(0xF1229E55);
+  size_t parsed = 0, literal_sites = 0;
+  for (const char* seed : kFpSeeds) {
+    auto plan = tsql::Parser::Parse(seed, FuzzSchema);
+    ASSERT_TRUE(plan.ok()) << seed << ": " << plan.status().ToString();
+    ++parsed;
+    const adapt::ParameterizedQuery base =
+        adapt::ParameterizeQuery(plan.ValueOrDie());
+    literal_sites += base.params.size();
+
+    // Identity rebind reproduces the plan exactly.
+    EXPECT_EQ(adapt::BindLogicalParams(base.plan, base.params)->ToString(),
+              plan.ValueOrDie()->ToString())
+        << seed;
+
+    for (int iter = 0; iter < 40; ++iter) {
+      SCOPED_TRACE(std::string(seed) + " iter=" + std::to_string(iter));
+      std::vector<Value> mutated;
+      mutated.reserve(base.params.size());
+      for (const Value& v : base.params) {
+        mutated.push_back(RandomOfSameType(v, &rng));
+      }
+      const adapt::ParameterizedQuery variant = adapt::ParameterizeQuery(
+          adapt::BindLogicalParams(base.plan, mutated));
+      EXPECT_EQ(variant.canon, base.canon);
+      EXPECT_EQ(variant.hash, base.hash);
+      ASSERT_EQ(variant.params.size(), base.params.size());
+      for (size_t i = 0; i < mutated.size(); ++i) {
+        EXPECT_EQ(variant.params[i], mutated[i]);
+      }
+    }
+  }
+  // The property must actually have been exercised.
+  EXPECT_GE(parsed, 5u);
+  EXPECT_GE(literal_sites, 5u);
+}
+
+TEST(FingerprintFuzzTest, StructurallyDistinctSeedsNeverCollide) {
+  std::vector<std::pair<std::string, adapt::ParameterizedQuery>> queries;
+  for (const char* seed : kFpSeeds) {
+    auto plan = tsql::Parser::Parse(seed, FuzzSchema);
+    if (plan.ok()) {
+      queries.emplace_back(seed,
+                           adapt::ParameterizeQuery(plan.ValueOrDie()));
+    }
+  }
+  ASSERT_GE(queries.size(), 5u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      EXPECT_NE(queries[i].second.canon, queries[j].second.canon)
+          << queries[i].first << " vs " << queries[j].first;
+      EXPECT_NE(queries[i].second.hash, queries[j].second.hash)
+          << queries[i].first << " vs " << queries[j].first;
+    }
+  }
+}
+
+TEST(FingerprintFuzzTest, MutatedInputsHashConsistently) {
+  // Hash must be a pure function of the canon, even on heavily damaged
+  // inputs that still parse: canon equality and hash equality agree.
+  Rng rng(0xF1CAFE02);
+  constexpr int kIterations = 600;
+  size_t compared = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const std::string& base =
+        kFpSeeds[rng.Uniform(0, std::size(kFpSeeds) - 1)];
+    auto base_plan = tsql::Parser::Parse(base, FuzzSchema);
+    if (!base_plan.ok()) continue;
+    const std::string input = Mutate(base, &rng);
+    auto plan = tsql::Parser::Parse(input, FuzzSchema);
+    if (!plan.ok()) continue;
+    SCOPED_TRACE("iter=" + std::to_string(iter) + " input=" + input);
+    const adapt::ParameterizedQuery a =
+        adapt::ParameterizeQuery(base_plan.ValueOrDie());
+    const adapt::ParameterizedQuery b =
+        adapt::ParameterizeQuery(plan.ValueOrDie());
+    EXPECT_EQ(a.canon == b.canon, a.hash == b.hash);
+    ++compared;
+  }
+  EXPECT_GT(compared, 20u);
 }
 
 }  // namespace
