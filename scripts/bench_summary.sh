@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds and runs the closed-loop vectorization bench and writes its JSON
+# summary to BENCH_vectorized.json at the repo root — the committed
+# perf-trajectory baseline for the block execution engine (EXPERIMENTS.md
+# E14). Re-run after any hot-path change and commit the refreshed JSON so
+# regressions show up in review as a diff, not a surprise.
+#
+# Usage: scripts/bench_summary.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+cmake -B "${BUILD}" -S . >/dev/null
+cmake --build "${BUILD}" -j "$(nproc)" --target bench_vectorized
+"./${BUILD}/bench_vectorized" BENCH_vectorized.json
+echo "BENCH_vectorized.json updated"

@@ -33,6 +33,12 @@ JOBS="${1:-$(nproc)}"
 ROBUSTNESS_SUITES='^(fault_matrix_test|wire_fuzz_test|recovery_test)$'
 OBS_SUITES='^(obs_test|trace_test|explain_analyze_test)$'
 ADAPT_SUITES='^(plan_cache_test|feedback_test|fingerprint_test)$'
+# The batch/tuple differential sweeps: exec_property_test proves every
+# operator bit-identical between Next and NextBatch at batch sizes
+# {1,2,7,1024}, and parallel_exec_test does the same for the parallel
+# variants at DOP 4 — ASan catches a moved-from row reused, TSan a racy
+# block handoff, so both suites run under both sanitizers by name.
+VECTOR_SUITES='^(exec_property_test|parallel_exec_test)$'
 
 # A stuck test under a sanitizer leg should fail the run, not hang it.
 CTEST_TIMEOUT=600
@@ -53,7 +59,15 @@ run_config() {
   echo "=== ${name}: configure + build + ctest (${dir}) ==="
   cmake -B "${dir}" -S . -DTANGO_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" --timeout "${CTEST_TIMEOUT}")
+  # Sanitizer legs skip the `slow`-labeled suites in the broad pass (they
+  # run 5-20x slower instrumented); the ones that matter under sanitizers
+  # are then invoked by name below, so nothing slow is actually skipped —
+  # it is just targeted. The plain leg runs everything.
+  local label_filter=()
+  if [[ -n "${sanitize}" ]]; then
+    label_filter=(-LE slow)
+  fi
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" --timeout "${CTEST_TIMEOUT}" "${label_filter[@]}")
   check_leaks "${name}" "${dir}"
   if [[ -n "${sanitize}" ]]; then
     echo "=== ${name}: robustness suites (fault matrix + wire fuzz + recovery) ==="
@@ -64,6 +78,9 @@ run_config() {
     check_leaks "${name}" "${dir}"
     echo "=== ${name}: adaptive suites (plan cache + feedback + fingerprint) ==="
     (cd "${dir}" && ctest --output-on-failure -R "${ADAPT_SUITES}" --timeout "${CTEST_TIMEOUT}")
+    check_leaks "${name}" "${dir}"
+    echo "=== ${name}: vectorization suites (batch/tuple differential + parallel) ==="
+    (cd "${dir}" && ctest --output-on-failure -R "${VECTOR_SUITES}" --timeout "${CTEST_TIMEOUT}")
     check_leaks "${name}" "${dir}"
   fi
   echo "=== ${name}: OK ==="

@@ -1,9 +1,11 @@
 #ifndef TANGO_COMMON_CURSOR_H_
 #define TANGO_COMMON_CURSOR_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "common/row_block.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -11,7 +13,8 @@
 namespace tango {
 
 /// \brief Pipelined iterator over tuples — the paper's result-set interface
-/// with init() and getNext() (Figure 2).
+/// with init() and getNext() (Figure 2), extended with a vectorized batch
+/// path.
 ///
 /// Both the middleware execution engine (XXL-style algorithms) and the DBMS
 /// physical operators implement this interface; `Init` may do real work
@@ -26,17 +29,91 @@ class Cursor {
   /// Produces the next tuple; returns false when exhausted.
   virtual Result<bool> Next(Tuple* tuple) = 0;
 
+  /// Vectorized variant: clears `block` and fills it with up to
+  /// `block->capacity()` rows; returns the number appended. Zero means
+  /// exhausted. A *partial* (non-zero, under-capacity) block does NOT imply
+  /// exhaustion — producers such as the wire cursor surface one transfer
+  /// batch per call — so consumers must keep calling until they see zero.
+  ///
+  /// The default implementation loops the legacy `Next`, so every cursor
+  /// supports batching; hot operators override it natively. Mixing `Next`
+  /// and `NextBatch` on one cursor between `Init`s is allowed — both drain
+  /// the same underlying stream in order.
+  virtual Result<size_t> NextBatch(RowBlock* block) {
+    block->Clear();
+    Tuple t;
+    while (!block->full()) {
+      TANGO_ASSIGN_OR_RETURN(bool more, Next(&t));
+      if (!more) break;
+      block->AppendRow(std::move(t));
+    }
+    return block->rows();
+  }
+
   /// Output schema; valid after construction.
   virtual const Schema& schema() const = 0;
 };
 
 using CursorPtr = std::unique_ptr<Cursor>;
 
+/// \brief Row-at-a-time view over a batched child.
+///
+/// Operators whose control flow is inherently tuple-oriented (merge join,
+/// plane sweep, difference) read their children through this adapter: the
+/// child is drained in whole blocks (one virtual call per block), and the
+/// operator's own row logic stays bit-identical. `Next` here is non-virtual
+/// and serves moves out of the buffered block.
+class BatchedReader {
+ public:
+  explicit BatchedReader(Cursor* child,
+                         size_t batch_rows = RowBlock::kDefaultCapacity)
+      : child_(child), block_(batch_rows == 0 ? 1 : batch_rows) {}
+
+  /// Re-initializes the child and rewinds the buffer.
+  Status Init() {
+    pos_ = 0;
+    done_ = false;
+    block_.Clear();
+    return child_->Init();
+  }
+
+  Result<bool> Next(Tuple* tuple) {
+    while (pos_ >= block_.rows()) {
+      if (done_) return false;
+      TANGO_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&block_));
+      pos_ = 0;
+      if (n == 0) {
+        done_ = true;
+        return false;
+      }
+    }
+    block_.MoveRowTo(pos_++, tuple);
+    return true;
+  }
+
+  Cursor* child() const { return child_; }
+
+ private:
+  Cursor* child_;
+  RowBlock block_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
 /// \brief Cursor over an in-memory vector of tuples.
+///
+/// `Drain::kReusable` (default) copies rows out, so re-`Init` replays the
+/// stream. `Drain::kOneShot` moves rows out — for the many places that build
+/// a VectorCursor from a freshly materialized vector and drain it exactly
+/// once (partitions, fallbacks); a one-shot cursor must not be re-`Init`ed
+/// after draining.
 class VectorCursor : public Cursor {
  public:
-  VectorCursor(Schema schema, std::vector<Tuple> rows)
-      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+  enum class Drain { kReusable, kOneShot };
+
+  VectorCursor(Schema schema, std::vector<Tuple> rows,
+               Drain drain = Drain::kReusable)
+      : schema_(std::move(schema)), rows_(std::move(rows)), drain_(drain) {}
 
   Status Init() override {
     pos_ = 0;
@@ -45,8 +122,24 @@ class VectorCursor : public Cursor {
 
   Result<bool> Next(Tuple* tuple) override {
     if (pos_ >= rows_.size()) return false;
-    *tuple = rows_[pos_++];
+    if (drain_ == Drain::kOneShot) {
+      *tuple = std::move(rows_[pos_++]);
+    } else {
+      *tuple = rows_[pos_++];
+    }
     return true;
+  }
+
+  Result<size_t> NextBatch(RowBlock* block) override {
+    block->Clear();
+    while (pos_ < rows_.size() && !block->full()) {
+      if (drain_ == Drain::kOneShot) {
+        block->AppendRow(std::move(rows_[pos_++]));
+      } else {
+        block->AppendRow(rows_[pos_++]);
+      }
+    }
+    return block->rows();
   }
 
   const Schema& schema() const override { return schema_; }
@@ -54,18 +147,30 @@ class VectorCursor : public Cursor {
  private:
   Schema schema_;
   std::vector<Tuple> rows_;
+  Drain drain_;
   size_t pos_ = 0;
 };
 
-/// Drains a cursor into a vector (calls Init first).
+/// Drains a cursor into a vector (calls Init first). Pulls whole blocks —
+/// one virtual call per batch — and grows the result geometrically but never
+/// by less than the incoming block, so materialization points (sort runs,
+/// transfers, the root drain) avoid per-row virtual calls and reallocation
+/// churn.
 inline Result<std::vector<Tuple>> MaterializeAll(Cursor* cursor) {
   TANGO_RETURN_IF_ERROR(cursor->Init());
   std::vector<Tuple> rows;
+  RowBlock block;
   Tuple t;
   while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, cursor->Next(&t));
-    if (!more) break;
-    rows.push_back(std::move(t));
+    TANGO_ASSIGN_OR_RETURN(size_t n, cursor->NextBatch(&block));
+    if (n == 0) break;
+    if (rows.capacity() < rows.size() + n) {
+      rows.reserve(std::max(rows.size() + n, rows.capacity() * 2));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      block.MoveRowTo(i, &t);
+      rows.push_back(std::move(t));
+    }
   }
   return rows;
 }

@@ -84,6 +84,7 @@ class RecoveryCounters {
         registry_(registry != nullptr ? *registry : *owned_),
         tm_retries(registry_.counter("retry.tm")),
         td_retries(registry_.counter("retry.td")),
+        rows_skipped(registry_.counter("retry.rows_skipped")),
         drop_retries(registry_.counter("retry.drop")),
         temp_tables_dropped(registry_.counter("janitor.temp_tables_dropped")),
         temp_table_drop_failures(registry_.counter("janitor.drop_failures")),
@@ -96,6 +97,9 @@ class RecoveryCounters {
 
   obs::Counter& tm_retries;
   obs::Counter& td_retries;
+  /// Rows re-fetched and discarded to reposition a re-issued TRANSFER^M
+  /// past what was already delivered downstream (restart-and-skip cost).
+  obs::Counter& rows_skipped;
   obs::Counter& drop_retries;
   obs::Counter& temp_tables_dropped;
   obs::Counter& temp_table_drop_failures;

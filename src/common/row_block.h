@@ -1,0 +1,109 @@
+#ifndef TANGO_COMMON_ROW_BLOCK_H_
+#define TANGO_COMMON_ROW_BLOCK_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace tango {
+
+/// \brief A column-packed batch of tuples — the unit of vectorized execution.
+///
+/// Values are stored one vector per column, so a batch of N rows costs one
+/// virtual `NextBatch` call instead of N virtual `Next` calls, and the wire
+/// layer can frame a whole block behind a single length/CRC header. The
+/// capacity is a *fill target* for producers (`full()` turns true at
+/// capacity), not a hard bound: `AppendRow` past capacity still works, which
+/// lets the wire decoder reconstitute whatever the sender framed.
+///
+/// All rows in a block share one arity; the first `AppendRow` after a
+/// `Clear`/`Reset` fixes the shape.
+class RowBlock {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBlock(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  /// Adjusts the fill target (operators size internal scratch blocks to
+  /// match their consumer's block). Does not shrink existing rows.
+  void set_capacity(size_t capacity) { capacity_ = capacity == 0 ? 1 : capacity; }
+  size_t rows() const { return rows_; }
+  size_t columns() const { return cols_.size(); }
+  bool empty() const { return rows_ == 0; }
+  bool full() const { return rows_ >= capacity_; }
+
+  /// Removes all rows but keeps the column shape and their allocations, so
+  /// a block reused across `NextBatch` calls settles into steady-state
+  /// memory after the first fill.
+  void Clear() {
+    for (auto& col : cols_) col.clear();
+    rows_ = 0;
+  }
+
+  /// Clears and re-shapes the block to `num_cols` empty columns.
+  void Reset(size_t num_cols) {
+    cols_.resize(num_cols);
+    Clear();
+  }
+
+  void AppendRow(const Tuple& t) {
+    EnsureShape(t.size());
+    for (size_t c = 0; c < t.size(); ++c) cols_[c].push_back(t[c]);
+    ++rows_;
+  }
+
+  void AppendRow(Tuple&& t) {
+    EnsureShape(t.size());
+    for (size_t c = 0; c < t.size(); ++c) cols_[c].push_back(std::move(t[c]));
+    ++rows_;
+  }
+
+  const Value& At(size_t row, size_t col) const { return cols_[col][row]; }
+  Value& At(size_t row, size_t col) { return cols_[col][row]; }
+
+  /// Direct column access (vectorized operators, the wire codec).
+  const std::vector<Value>& column(size_t c) const { return cols_[c]; }
+  std::vector<Value>& column(size_t c) { return cols_[c]; }
+
+  /// Reassembles row `row` as a Tuple (copying).
+  void CopyRowTo(size_t row, Tuple* t) const {
+    t->clear();
+    t->reserve(cols_.size());
+    for (const auto& col : cols_) t->push_back(col[row]);
+  }
+
+  /// Reassembles row `row` as a Tuple, moving the values out. The row's
+  /// slots are left moved-from; each row may be taken at most once per fill.
+  void MoveRowTo(size_t row, Tuple* t) {
+    t->clear();
+    t->reserve(cols_.size());
+    for (auto& col : cols_) t->push_back(std::move(col[row]));
+  }
+
+  /// Codec hook: after writing columns directly via `column()`, declares the
+  /// row count. Every column must hold exactly `n` values.
+  void set_rows(size_t n) { rows_ = n; }
+
+ private:
+  void EnsureShape(size_t arity) {
+    if (cols_.size() != arity) {
+      // First row after Clear/Reset fixes the shape. (Rows within one fill
+      // always share an arity in this engine; a late re-shape pads the new
+      // columns with NULLs rather than corrupting row alignment.)
+      cols_.resize(arity);
+      for (auto& col : cols_) col.resize(rows_);
+    }
+  }
+
+  size_t capacity_;
+  size_t rows_ = 0;
+  std::vector<std::vector<Value>> cols_;
+};
+
+}  // namespace tango
+
+#endif  // TANGO_COMMON_ROW_BLOCK_H_

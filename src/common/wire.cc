@@ -86,6 +86,15 @@ void WireWriter::PutTuple(const Tuple& t) {
   for (const Value& v : t) PutValue(v);
 }
 
+void WireWriter::PutRowBlock(const RowBlock& block) {
+  PutU32(static_cast<uint32_t>(block.rows()));
+  PutU32(static_cast<uint32_t>(block.columns()));
+  for (size_t c = 0; c < block.columns(); ++c) {
+    const std::vector<Value>& col = block.column(c);
+    for (size_t r = 0; r < block.rows(); ++r) PutValue(col[r]);
+  }
+}
+
 Result<uint8_t> WireReader::GetU8() {
   TANGO_RETURN_IF_ERROR(Need(1));
   return data_[pos_++];
@@ -156,6 +165,32 @@ Result<Tuple> WireReader::GetTuple() {
     t.push_back(std::move(v));
   }
   return t;
+}
+
+Result<size_t> WireReader::GetRowBlock(RowBlock* block) {
+  TANGO_ASSIGN_OR_RETURN(uint32_t rows, GetU32());
+  TANGO_ASSIGN_OR_RETURN(uint32_t cols, GetU32());
+  // Every encoded value costs at least one tag byte, so a genuine header can
+  // never declare more cells than bytes remaining. Rejecting here keeps a
+  // forged header from driving a huge up-front allocation.
+  const uint64_t cells = static_cast<uint64_t>(rows) * cols;
+  if (cells > size_ - pos_) {
+    return Status::IOError("wire block header implausible: too many cells");
+  }
+  if (rows > 0 && cols == 0) {
+    return Status::IOError("wire block header implausible: rows without columns");
+  }
+  block->Reset(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    std::vector<Value>& col = block->column(c);
+    col.reserve(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      TANGO_ASSIGN_OR_RETURN(Value v, GetValue());
+      col.push_back(std::move(v));
+    }
+  }
+  block->set_rows(rows);
+  return static_cast<size_t>(rows);
 }
 
 }  // namespace tango

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/row_block.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -28,6 +29,10 @@ class WireWriter {
   }
   void PutValue(const Value& v);
   void PutTuple(const Tuple& t);
+  /// Block encoding: `[u32 rows][u32 cols]` then the values column-major.
+  /// One of these per RowBlock replaces `rows` per-tuple headers, and the
+  /// column-major layout keeps same-typed tag bytes adjacent.
+  void PutRowBlock(const RowBlock& block);
 
   const std::vector<uint8_t>& buffer() const { return buf_; }
   size_t size() const { return buf_.size(); }
@@ -81,6 +86,12 @@ class WireReader {
   Result<std::string> GetString();
   Result<Value> GetValue();
   Result<Tuple> GetTuple();
+  /// Decodes one block written by PutRowBlock into `block` (replacing its
+  /// contents; the block's capacity is not a decode limit). Returns the row
+  /// count. A forged header cannot drive a large allocation: the declared
+  /// rows×cols is checked against the bytes actually remaining (every value
+  /// costs at least its tag byte) before anything is reserved.
+  Result<size_t> GetRowBlock(RowBlock* block);
 
  private:
   Status Need(size_t n) {

@@ -9,11 +9,12 @@ namespace cost {
 std::string CostFactors::ToString() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "p_tm=%.4g p_td=%.4g p_sem=%.4g p_taggm1=%.4g p_taggm2=%.4g "
+                "p_tm=%.4g p_td=%.4g p_tmblk=%.4g p_tdblk=%.4g p_sem=%.4g "
+                "p_taggm1=%.4g p_taggm2=%.4g "
                 "p_taggd1=%.4g p_taggd2=%.4g p_sortm=%.4g p_sortd=%.4g "
                 "p_mjm=%.4g p_tjm=%.4g p_scand=%.4g p_joind=%.4g p_stmt=%.4g",
-                tm, td, sem, taggm1, taggm2, taggd1, taggd2, sortm, sortd, mjm,
-                tjm, scand, joind, stmt);
+                tm, td, tmblk, tdblk, sem, taggm1, taggm2, taggd1, taggd2,
+                sortm, sortd, mjm, tjm, scand, joind, stmt);
   return buf;
 }
 

@@ -18,9 +18,15 @@ namespace cost {
 /// calibrates them by running probe queries (Du et al.'s mechanism), and the
 /// feedback loop keeps refining them from measured execution times.
 struct CostFactors {
-  // Figure 6.
-  double tm = 0.05;       // TRANSFER^M, per byte
-  double td = 0.08;       // TRANSFER^D, per byte
+  // Figure 6, recalibrated for block-framed transfer: the per-byte factors
+  // drop (column-packed blocks amortize the per-tuple marshalling the old
+  // factors folded in) and the overhead that remains per prefetch batch /
+  // bulk-load chunk is charged explicitly per block below.
+  double tm = 0.04;       // TRANSFER^M, per byte
+  double td = 0.065;      // TRANSFER^D, per byte
+  double tmblk = 60;      // TRANSFER^M, per block frame (microseconds;
+                          // matches WireConfig::per_batch_seconds)
+  double tdblk = 40;      // TRANSFER^D, per block frame (microseconds)
   double sem = 0.01;      // FILTER^M, per byte (x f(P))
   double taggm1 = 0.02;   // TAGGR^M, per input byte
   double taggm2 = 0.02;   // TAGGR^M, per output byte
@@ -80,9 +86,20 @@ class CostModel {
     return 1.0 + (static_cast<double>(dop_) - 1.0) * efficiency_;
   }
 
+  /// Rows per RowBlock on the wire; determines how many per-block overheads
+  /// a transfer of a given cardinality pays.
+  void set_batch_size(size_t rows) { batch_rows_ = rows == 0 ? 1 : rows; }
+  size_t batch_size() const { return batch_rows_; }
+
   // ---- Figure 6 ----
-  double TransferM(double size) const { return f_.stmt + f_.tm * size; }
-  double TransferD(double size) const { return f_.stmt + f_.td * size; }
+  /// `cardinality` <= 0 charges a single block (unknown-cardinality callers
+  /// keep the old stmt + per-byte shape).
+  double TransferM(double size, double cardinality = 0) const {
+    return f_.stmt + f_.tm * size + f_.tmblk * Blocks(cardinality);
+  }
+  double TransferD(double size, double cardinality = 0) const {
+    return f_.stmt + f_.td * size + f_.tdblk * Blocks(cardinality);
+  }
   /// `predicate_coefficient` is the paper's f(P) (see PredicateCoefficient).
   double FilterM(double predicate_coefficient, double size) const {
     return f_.sem * predicate_coefficient * size;
@@ -147,9 +164,16 @@ class CostModel {
     return card < 2 ? 1 : std::log2(card);
   }
 
+  /// Block frames a transfer of `cardinality` rows crosses the wire in.
+  double Blocks(double cardinality) const {
+    if (cardinality <= 0) return 1;
+    return std::ceil(cardinality / static_cast<double>(batch_rows_));
+  }
+
   CostFactors f_;
   size_t dop_ = 1;
   double efficiency_ = 0.7;
+  size_t batch_rows_ = 1024;
 };
 
 }  // namespace cost

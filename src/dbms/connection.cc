@@ -1,5 +1,6 @@
 #include "dbms/connection.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -10,9 +11,10 @@ namespace dbms {
 
 namespace {
 
-/// Client-side cursor over a server-side query: fetches `row_prefetch`
-/// tuples at a time, each batch genuinely serialized, CRC-framed, and
-/// deserialized through the wire codec with link pacing applied.
+/// Client-side cursor over a server-side query: fetches up to
+/// `row_prefetch` tuples at a time as one column-packed RowBlock, genuinely
+/// serialized, CRC-framed (one frame per block), and deserialized through
+/// the wire codec with link pacing applied.
 class RemoteCursor : public Cursor {
  public:
   RemoteCursor(Connection* conn, CursorPtr server_cursor, size_t prefetch,
@@ -22,10 +24,11 @@ class RemoteCursor : public Cursor {
         prefetch_(prefetch == 0 ? 1 : prefetch),
         schema_(server_->schema()),
         control_(std::move(control)),
-        faulted_(faulted) {}
+        faulted_(faulted),
+        server_block_(prefetch_) {}
 
   Status Init() override {
-    buffer_.clear();
+    block_.Clear();
     pos_ = 0;
     batch_no_ = 0;
     server_done_ = false;
@@ -33,41 +36,60 @@ class RemoteCursor : public Cursor {
   }
 
   Result<bool> Next(Tuple* tuple) override {
-    if (pos_ >= buffer_.size()) {
+    while (pos_ >= block_.rows()) {
       if (server_done_) return false;
-      TANGO_RETURN_IF_ERROR(FetchBatch());
-      if (buffer_.empty()) return false;
+      TANGO_RETURN_IF_ERROR(FetchBlock());
+      if (block_.empty()) return false;
     }
-    *tuple = std::move(buffer_[pos_++]);
+    block_.MoveRowTo(pos_++, tuple);
     return true;
+  }
+
+  Result<size_t> NextBatch(RowBlock* block) override {
+    block->Clear();
+    while (pos_ >= block_.rows()) {
+      if (server_done_) return 0;
+      TANGO_RETURN_IF_ERROR(FetchBlock());
+      if (block_.empty()) return 0;
+    }
+    if (pos_ == 0) {
+      // Hand the whole decoded block to the consumer without re-packing.
+      const size_t cap = block->capacity();
+      *block = std::move(block_);
+      block->set_capacity(cap);
+      block_ = RowBlock();
+      return block->rows();
+    }
+    Tuple t;
+    while (pos_ < block_.rows() && !block->full()) {
+      block_.MoveRowTo(pos_++, &t);
+      block->AppendRow(std::move(t));
+    }
+    return block->rows();
   }
 
   const Schema& schema() const override { return schema_; }
 
  private:
-  Status FetchBatch() {
+  Status FetchBlock() {
     // A cancelled/expired query stops driving the wire at the next batch.
     TANGO_RETURN_IF_ERROR(CheckControl(control_));
     // Per-batch wire lock: concurrent remote cursors (prefetch threads)
     // interleave batches instead of racing on the engine and counters.
     const auto wire = conn_->AcquireWire();
-    buffer_.clear();
+    block_.Clear();
     pos_ = 0;
-    // Server side: produce + serialize a batch.
-    WireWriter writer;
-    size_t n = 0;
-    Tuple t;
-    while (n < prefetch_) {
-      TANGO_ASSIGN_OR_RETURN(bool more, server_->Next(&t));
-      if (!more) {
-        server_done_ = true;
-        break;
-      }
-      writer.PutTuple(t);
-      ++n;
+    // Server side: produce + serialize one block (one NextBatch of the
+    // server plan — the block boundary is the batch boundary).
+    server_block_.Clear();
+    TANGO_ASSIGN_OR_RETURN(const size_t n, server_->NextBatch(&server_block_));
+    if (n == 0) {
+      server_done_ = true;
+      return Status::OK();
     }
-    if (n == 0) return Status::OK();
-    // The batch crosses the link, length- and CRC-framed.
+    WireWriter writer;
+    writer.PutRowBlock(server_block_);
+    // The block crosses the link, length- and CRC-framed.
     std::vector<uint8_t> framed = WireFrame::Seal(writer.buffer());
     const uint64_t batch_no = batch_no_++;
     if (faulted_ && conn_->fault_injector() != nullptr) {
@@ -91,6 +113,7 @@ class RemoteCursor : public Cursor {
       }
     }
     conn_->PaceBatch();
+    conn_->CountBlock();
     conn_->PaceBytes(framed.size());
     // Client side: verify the frame, then deserialize. Any damage — real or
     // injected — surfaces as a transient link failure, never as garbled
@@ -99,18 +122,17 @@ class RemoteCursor : public Cursor {
     size_t len = 0;
     Status frame = WireFrame::Check(framed, &payload, &len);
     if (!frame.ok()) {
-      return Status::Unavailable("prefetch batch garbled on the wire: " +
+      return Status::Unavailable("prefetch block garbled on the wire: " +
                                  frame.message());
     }
     WireReader reader(payload, len);
-    buffer_.reserve(n);
-    while (!reader.AtEnd()) {
-      Result<Tuple> row = reader.GetTuple();
-      if (!row.ok()) {
-        return Status::Unavailable("prefetch batch undecodable: " +
-                                   row.status().message());
-      }
-      buffer_.push_back(row.MoveValueOrDie());
+    Result<size_t> decoded = reader.GetRowBlock(&block_);
+    if (!decoded.ok() || !reader.AtEnd()) {
+      block_.Clear();
+      return Status::Unavailable(
+          "prefetch block undecodable: " +
+          (decoded.ok() ? std::string("trailing bytes after block")
+                        : decoded.status().message()));
     }
     return Status::OK();
   }
@@ -121,7 +143,8 @@ class RemoteCursor : public Cursor {
   Schema schema_;
   QueryControlPtr control_;
   bool faulted_;
-  std::vector<Tuple> buffer_;
+  RowBlock server_block_;  // server-side staging, reused across fetches
+  RowBlock block_;         // client-side decoded block being drained
   size_t pos_ = 0;
   uint64_t batch_no_ = 0;
   bool server_done_ = false;
@@ -156,6 +179,11 @@ void Connection::PaceBatch() {
   ++counters_.batches;
   if (m_batches_ != nullptr) ++*m_batches_;
   Spin(config_.per_batch_seconds);
+}
+
+void Connection::CountBlock() {
+  ++counters_.blocks;
+  if (m_blocks_ != nullptr) ++*m_blocks_;
 }
 
 Status Connection::StatementGate(const std::string& sql,
@@ -226,21 +254,46 @@ Status Connection::BulkLoad(const std::string& table,
                             const QueryControlPtr& control) {
   const auto wire = AcquireWire();
   TANGO_RETURN_IF_ERROR(StatementGate("BULKLOAD " + table, control, nullptr));
-  // Client side serializes everything (the SQL*Loader data file)...
-  WireWriter writer;
-  for (const Tuple& t : rows) writer.PutTuple(t);
-  counters_.bytes_to_server += writer.size();
-  if (m_bytes_to_server_ != nullptr) {
-    m_bytes_to_server_->Increment(writer.size());
-  }
-  Spin(static_cast<double>(writer.size()) / config_.bytes_per_second);
-  // ...and the server performs a direct-path load.
+  // Client side chunks the rows into column-packed blocks — the SQL*Loader
+  // data file crosses the wire as one CRC frame per block — and the server
+  // verifies, decodes, and direct-path loads.
+  const size_t chunk =
+      config_.row_prefetch == 0 ? size_t{1} : config_.row_prefetch;
   std::vector<Tuple> decoded;
   decoded.reserve(rows.size());
-  WireReader reader(writer.buffer());
-  while (!reader.AtEnd()) {
-    TANGO_ASSIGN_OR_RETURN(Tuple row, reader.GetTuple());
-    decoded.push_back(std::move(row));
+  RowBlock block(chunk);
+  for (size_t base = 0; base < rows.size(); base += chunk) {
+    block.Clear();
+    const size_t end = std::min(rows.size(), base + chunk);
+    for (size_t i = base; i < end; ++i) block.AppendRow(rows[i]);
+    WireWriter writer;
+    writer.PutRowBlock(block);
+    const std::vector<uint8_t> framed = WireFrame::Seal(writer.buffer());
+    counters_.bytes_to_server += framed.size();
+    if (m_bytes_to_server_ != nullptr) {
+      m_bytes_to_server_->Increment(framed.size());
+    }
+    CountBlock();
+    Spin(static_cast<double>(framed.size()) / config_.bytes_per_second);
+    const uint8_t* payload = nullptr;
+    size_t len = 0;
+    Status frame = WireFrame::Check(framed, &payload, &len);
+    if (!frame.ok()) {
+      return Status::Unavailable("bulk-load block garbled on the wire: " +
+                                 frame.message());
+    }
+    WireReader reader(payload, len);
+    RowBlock in;
+    Result<size_t> got = reader.GetRowBlock(&in);
+    if (!got.ok()) {
+      return Status::Unavailable("bulk-load block undecodable: " +
+                                 got.status().message());
+    }
+    Tuple t;
+    for (size_t i = 0; i < in.rows(); ++i) {
+      in.MoveRowTo(i, &t);
+      decoded.push_back(std::move(t));
+    }
   }
   return engine_->BulkLoad(table, decoded);
 }

@@ -43,6 +43,10 @@ struct WireCounters {
   uint64_t bytes_to_server = 0;    // T^D direction
   uint64_t statements = 0;
   uint64_t batches = 0;
+  /// CRC-framed RowBlocks that crossed the link (both directions); with
+  /// block framing every prefetch batch and every bulk-load chunk is one
+  /// block frame.
+  uint64_t blocks = 0;
   double simulated_seconds = 0;    // total pacing applied
 };
 
@@ -71,12 +75,13 @@ class Connection {
   /// connection WireCounters, these are never reset.
   void set_metrics(obs::MetricsRegistry* registry) {
     if (registry == nullptr) {
-      m_statements_ = m_batches_ = m_bytes_to_client_ = m_bytes_to_server_ =
-          nullptr;
+      m_statements_ = m_batches_ = m_blocks_ = m_bytes_to_client_ =
+          m_bytes_to_server_ = nullptr;
       return;
     }
     m_statements_ = &registry->counter("wire.statements");
     m_batches_ = &registry->counter("wire.batches");
+    m_blocks_ = &registry->counter("wire.blocks");
     m_bytes_to_client_ = &registry->counter("wire.bytes_to_client");
     m_bytes_to_server_ = &registry->counter("wire.bytes_to_server");
   }
@@ -121,6 +126,8 @@ class Connection {
   void PaceBytes(size_t bytes);
   void PaceRoundTrip();
   void PaceBatch();
+  /// Counts one framed RowBlock crossing the link (either direction).
+  void CountBlock();
 
   /// Serializes access to the (single) wire and the in-process engine. The
   /// parallel execution engine drains TRANSFER^M cursors on prefetch
@@ -146,6 +153,7 @@ class Connection {
   WireCounters counters_;
   obs::Counter* m_statements_ = nullptr;
   obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_blocks_ = nullptr;
   obs::Counter* m_bytes_to_client_ = nullptr;
   obs::Counter* m_bytes_to_server_ = nullptr;
   FaultInjectorPtr fault_;

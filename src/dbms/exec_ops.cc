@@ -21,6 +21,16 @@ Result<bool> TableScanOp::Next(Tuple* tuple) {
   return it_->Next(tuple);
 }
 
+Result<size_t> TableScanOp::NextBatch(RowBlock* block) {
+  block->Clear();
+  Tuple t;
+  while (!block->full()) {
+    if (!it_->Next(&t)) break;
+    block->AppendRow(std::move(t));
+  }
+  return block->rows();
+}
+
 // ---------------------------------------------------------------- IndexScan
 
 IndexScanOp::IndexScanOp(const Table* table, size_t column,
@@ -69,6 +79,21 @@ Result<bool> FilterOp::Next(Tuple* tuple) {
   }
 }
 
+Result<size_t> FilterOp::NextBatch(RowBlock* block) {
+  block->Clear();
+  in_block_.set_capacity(block->capacity());
+  Tuple t;
+  while (block->empty()) {
+    TANGO_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&in_block_));
+    if (n == 0) return 0;
+    for (size_t i = 0; i < n; ++i) {
+      in_block_.MoveRowTo(i, &t);
+      if (EvalPredicate(*predicate_, t)) block->AppendRow(std::move(t));
+    }
+  }
+  return block->rows();
+}
+
 // ------------------------------------------------------------------ Project
 
 Result<bool> ProjectOp::Next(Tuple* tuple) {
@@ -81,18 +106,28 @@ Result<bool> ProjectOp::Next(Tuple* tuple) {
   return true;
 }
 
+Result<size_t> ProjectOp::NextBatch(RowBlock* block) {
+  block->Clear();
+  in_block_.set_capacity(block->capacity());
+  TANGO_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&in_block_));
+  if (n == 0) return 0;
+  Tuple in, out;
+  for (size_t i = 0; i < n; ++i) {
+    in_block_.MoveRowTo(i, &in);
+    out.clear();
+    out.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) out.push_back(Eval(*e, in));
+    block->AppendRow(std::move(out));
+  }
+  return block->rows();
+}
+
 // --------------------------------------------------------------------- Sort
 
 Status SortOp::Init() {
-  TANGO_RETURN_IF_ERROR(child_->Init());
   rows_.clear();
   pos_ = 0;
-  Tuple t;
-  while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
-    if (!more) break;
-    rows_.push_back(std::move(t));
-  }
+  TANGO_ASSIGN_OR_RETURN(rows_, MaterializeAll(child_.get()));
   TupleComparator cmp(keys_);
   std::stable_sort(rows_.begin(), rows_.end(), cmp);
   return Status::OK();
@@ -102,6 +137,15 @@ Result<bool> SortOp::Next(Tuple* tuple) {
   if (pos_ >= rows_.size()) return false;
   *tuple = rows_[pos_++];
   return true;
+}
+
+Result<size_t> SortOp::NextBatch(RowBlock* block) {
+  block->Clear();
+  // Copies, not moves: the materialized result may be replayed.
+  while (pos_ < rows_.size() && !block->full()) {
+    block->AppendRow(rows_[pos_++]);
+  }
+  return block->rows();
 }
 
 // -------------------------------------------------------------------- Dedup
@@ -236,7 +280,13 @@ Result<bool> SortMergeJoinOp::Next(Tuple* tuple) {
       // same group (next left row may share the key).
       TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
       group_pos_ = 0;
-      if (!left_valid_) return false;
+      if (!left_valid_) {
+        // Clear the match flag so a post-exhaustion call cannot replay the
+        // last group against the stale left row: batch drains legitimately
+        // call Next again after a false.
+        group_matches_left_ = false;
+        return false;
+      }
       if (!right_group_.empty() &&
           CompareKeys(left_row_, right_group_.front()) == 0) {
         continue;  // same key: replay group

@@ -29,6 +29,9 @@ class TableScanOp : public Cursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Fills the block straight from the heap-file iterator: one virtual
+  /// cursor call per block instead of one per stored row.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
  private:
@@ -66,11 +69,13 @@ class FilterOp : public Cursor {
 
   Status Init() override { return child_->Init(); }
   Result<bool> Next(Tuple* tuple) override;
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return child_->schema(); }
 
  private:
   CursorPtr child_;
   ExprPtr predicate_;
+  RowBlock in_block_{RowBlock::kDefaultCapacity};
 };
 
 /// \brief Projection: evaluates bound expressions into a new schema.
@@ -83,12 +88,14 @@ class ProjectOp : public Cursor {
 
   Status Init() override { return child_->Init(); }
   Result<bool> Next(Tuple* tuple) override;
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
  private:
   CursorPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  RowBlock in_block_{RowBlock::kDefaultCapacity};
 };
 
 /// \brief In-memory sort; materializes its input in Init.
@@ -99,6 +106,7 @@ class SortOp : public Cursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return child_->schema(); }
 
  private:

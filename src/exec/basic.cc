@@ -30,6 +30,24 @@ Result<bool> FilterCursor::Next(Tuple* tuple) {
   }
 }
 
+Result<size_t> FilterCursor::NextBatch(RowBlock* block) {
+  block->Clear();
+  in_block_.set_capacity(block->capacity());
+  Tuple t;
+  // Keep pulling child blocks until at least one row qualifies (or the
+  // child is exhausted); survivors of one input block never exceed the
+  // output capacity because the input block is sized to match.
+  while (block->empty()) {
+    TANGO_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&in_block_));
+    if (n == 0) return 0;
+    for (size_t i = 0; i < n; ++i) {
+      in_block_.MoveRowTo(i, &t);
+      if (EvalPredicate(*predicate_, t)) block->AppendRow(std::move(t));
+    }
+  }
+  return block->rows();
+}
+
 Result<bool> ProjectCursor::Next(Tuple* tuple) {
   Tuple in;
   TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
@@ -40,10 +58,26 @@ Result<bool> ProjectCursor::Next(Tuple* tuple) {
   return true;
 }
 
+Result<size_t> ProjectCursor::NextBatch(RowBlock* block) {
+  block->Clear();
+  in_block_.set_capacity(block->capacity());
+  TANGO_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&in_block_));
+  if (n == 0) return 0;
+  Tuple in, out;
+  for (size_t i = 0; i < n; ++i) {
+    in_block_.MoveRowTo(i, &in);
+    out.clear();
+    out.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) out.push_back(Eval(*e, in));
+    block->AppendRow(std::move(out));
+  }
+  return block->rows();
+}
+
 Result<bool> DupElimCursor::Next(Tuple* tuple) {
   Tuple t;
   while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    TANGO_ASSIGN_OR_RETURN(bool more, reader_.Next(&t));
     if (!more) return false;
     if (have_prev_ && TuplesEqual(t, prev_)) continue;
     prev_ = t;
@@ -54,24 +88,24 @@ Result<bool> DupElimCursor::Next(Tuple* tuple) {
 }
 
 Status DifferenceCursor::Init() {
-  TANGO_RETURN_IF_ERROR(left_->Init());
-  TANGO_RETURN_IF_ERROR(right_->Init());
-  TANGO_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_row_));
+  TANGO_RETURN_IF_ERROR(left_reader_.Init());
+  TANGO_RETURN_IF_ERROR(right_reader_.Init());
+  TANGO_ASSIGN_OR_RETURN(right_valid_, right_reader_.Next(&right_row_));
   return Status::OK();
 }
 
 Result<bool> DifferenceCursor::Next(Tuple* tuple) {
   Tuple t;
   while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+    TANGO_ASSIGN_OR_RETURN(bool more, left_reader_.Next(&t));
     if (!more) return false;
     // Advance the right side past smaller tuples.
     while (right_valid_ && CompareTuples(right_row_, t) < 0) {
-      TANGO_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_row_));
+      TANGO_ASSIGN_OR_RETURN(right_valid_, right_reader_.Next(&right_row_));
     }
     if (right_valid_ && CompareTuples(right_row_, t) == 0) {
       // One right occurrence cancels one left occurrence.
-      TANGO_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_row_));
+      TANGO_ASSIGN_OR_RETURN(right_valid_, right_reader_.Next(&right_row_));
       continue;
     }
     *tuple = std::move(t);
@@ -82,14 +116,14 @@ Result<bool> DifferenceCursor::Next(Tuple* tuple) {
 Status CoalesceCursor::Init() {
   have_current_ = false;
   done_ = false;
-  return child_->Init();
+  return reader_.Init();
 }
 
 Result<bool> CoalesceCursor::Next(Tuple* tuple) {
   if (done_) return false;
   Tuple t;
   while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    TANGO_ASSIGN_OR_RETURN(bool more, reader_.Next(&t));
     if (!more) {
       done_ = true;
       if (have_current_) {

@@ -22,11 +22,16 @@ class FilterCursor : public Cursor {
 
   Status Init() override { return child_->Init(); }
   Result<bool> Next(Tuple* tuple) override;
+  /// Native batch path: pulls whole blocks from the child and appends the
+  /// qualifying rows, so a selective filter costs one virtual call per input
+  /// block instead of one per inspected row.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return child_->schema(); }
 
  private:
   CursorPtr child_;
   ExprPtr predicate_;
+  RowBlock in_block_{RowBlock::kDefaultCapacity};
 };
 
 /// \brief PROJECT^M: middleware projection with computed expressions.
@@ -40,29 +45,35 @@ class ProjectCursor : public Cursor {
 
   Status Init() override { return child_->Init(); }
   Result<bool> Next(Tuple* tuple) override;
+  /// Native batch path: one child block in, one projected block out.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
  private:
   CursorPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  RowBlock in_block_{RowBlock::kDefaultCapacity};
 };
 
 /// \brief DUPELIM^M: removes adjacent duplicates; input must be sorted on
-/// all columns (the optimizer guarantees it).
+/// all columns (the optimizer guarantees it). Reads its child in whole
+/// blocks through a BatchedReader; the adjacency logic is untouched.
 class DupElimCursor : public Cursor {
  public:
-  explicit DupElimCursor(CursorPtr child) : child_(std::move(child)) {}
+  explicit DupElimCursor(CursorPtr child)
+      : child_(std::move(child)), reader_(child_.get()) {}
 
   Status Init() override {
     have_prev_ = false;
-    return child_->Init();
+    return reader_.Init();
   }
   Result<bool> Next(Tuple* tuple) override;
   const Schema& schema() const override { return child_->schema(); }
 
  private:
   CursorPtr child_;
+  BatchedReader reader_;
   Tuple prev_;
   bool have_prev_ = false;
 };
@@ -73,7 +84,10 @@ class DupElimCursor : public Cursor {
 class DifferenceCursor : public Cursor {
  public:
   DifferenceCursor(CursorPtr left, CursorPtr right)
-      : left_(std::move(left)), right_(std::move(right)) {}
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_reader_(left_.get()),
+        right_reader_(right_.get()) {}
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
@@ -81,6 +95,7 @@ class DifferenceCursor : public Cursor {
 
  private:
   CursorPtr left_, right_;
+  BatchedReader left_reader_, right_reader_;
   Tuple right_row_;
   bool right_valid_ = false;
 };
@@ -91,7 +106,7 @@ class CoalesceCursor : public Cursor {
  public:
   /// `t1`/`t2` are the period column positions in the child schema.
   CoalesceCursor(CursorPtr child, size_t t1, size_t t2)
-      : child_(std::move(child)), t1_(t1), t2_(t2) {}
+      : child_(std::move(child)), reader_(child_.get()), t1_(t1), t2_(t2) {}
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
@@ -99,6 +114,7 @@ class CoalesceCursor : public Cursor {
 
  private:
   CursorPtr child_;
+  BatchedReader reader_;
   size_t t1_, t2_;
   Tuple current_;
   bool have_current_ = false;

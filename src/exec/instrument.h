@@ -28,6 +28,9 @@ struct AlgorithmTiming {
   /// full serial work.
   double worker_seconds = 0;
   uint64_t rows = 0;
+  /// Non-empty RowBlocks this algorithm produced via NextBatch (0 for a
+  /// purely tuple-at-a-time drain); rows/batches is the realized batch size.
+  uint64_t batches = 0;
   std::vector<size_t> child_ids;  // ids of wrapped children
 };
 
@@ -114,7 +117,18 @@ class InstrumentedCursor : public Cursor {
   Result<bool> Next(Tuple* tuple) override {
     const auto start = Clock::now();
     Result<bool> r = inner_->Next(tuple);
-    Record(start, r.ok() && r.ValueOrDie());
+    Record(start, r.ok() && r.ValueOrDie() ? 1 : 0, /*batches=*/0);
+    return r;
+  }
+
+  /// Forwards the batch path to the wrapped cursor — without this override
+  /// every instrumented plan would fall back to the tuple-at-a-time default
+  /// and vectorization would die at each wrapper.
+  Result<size_t> NextBatch(RowBlock* block) override {
+    const auto start = Clock::now();
+    Result<size_t> r = inner_->NextBatch(block);
+    const uint64_t n = r.ok() ? r.ValueOrDie() : 0;
+    Record(start, n, n > 0 ? 1 : 0);
     return r;
   }
 
@@ -123,12 +137,14 @@ class InstrumentedCursor : public Cursor {
  private:
   using Clock = std::chrono::steady_clock;
 
-  void Record(Clock::time_point start, bool produced_row = false) {
+  void Record(Clock::time_point start, uint64_t produced_rows = 0,
+              uint64_t produced_batches = 0) {
     const auto elapsed = Clock::now() - start;
     std::lock_guard<std::mutex> lock(mu_);
     (*sink_)[id_].inclusive_seconds +=
         std::chrono::duration<double>(elapsed).count();
-    if (produced_row) (*sink_)[id_].rows += 1;
+    (*sink_)[id_].rows += produced_rows;
+    (*sink_)[id_].batches += produced_batches;
   }
 
   CursorPtr inner_;

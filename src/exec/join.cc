@@ -8,6 +8,8 @@ MergeJoinCursor::MergeJoinCursor(CursorPtr left, CursorPtr right,
                                  std::vector<size_t> right_keys)
     : left_(std::move(left)),
       right_(std::move(right)),
+      left_reader_(left_.get()),
+      right_reader_(right_.get()),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
       schema_(Schema::Concat(left_->schema(), right_->schema())) {}
@@ -28,13 +30,14 @@ int MergeJoinCursor::CompareKeys(const Tuple& l, const Tuple& r) const {
 }
 
 Status MergeJoinCursor::Init() {
-  TANGO_RETURN_IF_ERROR(left_->Init());
-  TANGO_RETURN_IF_ERROR(right_->Init());
+  TANGO_RETURN_IF_ERROR(left_reader_.Init());
+  TANGO_RETURN_IF_ERROR(right_reader_.Init());
   right_group_.clear();
   group_pos_ = 0;
   group_matches_left_ = false;
-  TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
-  TANGO_ASSIGN_OR_RETURN(right_pending_valid_, right_->Next(&right_pending_));
+  TANGO_ASSIGN_OR_RETURN(left_valid_, left_reader_.Next(&left_row_));
+  TANGO_ASSIGN_OR_RETURN(right_pending_valid_,
+                         right_reader_.Next(&right_pending_));
   return Status::OK();
 }
 
@@ -44,7 +47,7 @@ Result<bool> MergeJoinCursor::FillRightGroup() {
   right_group_.push_back(right_pending_);
   while (true) {
     Tuple t;
-    TANGO_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+    TANGO_ASSIGN_OR_RETURN(bool more, right_reader_.Next(&t));
     if (!more) {
       right_pending_valid_ = false;
       break;
@@ -75,9 +78,15 @@ Result<bool> MergeJoinCursor::Next(Tuple* tuple) {
       continue;
     }
     if (group_matches_left_) {
-      TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+      TANGO_ASSIGN_OR_RETURN(left_valid_, left_reader_.Next(&left_row_));
       group_pos_ = 0;
-      if (!left_valid_) return false;
+      if (!left_valid_) {
+        // Drop the match flag so a post-exhaustion call cannot replay the
+        // group against the stale left row — batch drains call Next again
+        // after the first false and must keep seeing false.
+        group_matches_left_ = false;
+        return false;
+      }
       if (!right_group_.empty() &&
           CompareKeys(left_row_, right_group_.front()) == 0) {
         continue;  // next left row shares the key: replay the group
@@ -93,7 +102,7 @@ Result<bool> MergeJoinCursor::Next(Tuple* tuple) {
     }
     const int c = CompareKeys(left_row_, right_group_.front());
     if (c < 0) {
-      TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+      TANGO_ASSIGN_OR_RETURN(left_valid_, left_reader_.Next(&left_row_));
       if (!left_valid_) return false;
       continue;
     }
@@ -106,7 +115,7 @@ Result<bool> MergeJoinCursor::Next(Tuple* tuple) {
       }
     }
     if (has_null) {
-      TANGO_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_row_));
+      TANGO_ASSIGN_OR_RETURN(left_valid_, left_reader_.Next(&left_row_));
       if (!left_valid_) return false;
       continue;
     }

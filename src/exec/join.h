@@ -34,6 +34,9 @@ class MergeJoinCursor : public Cursor {
   Result<bool> FillRightGroup();
 
   CursorPtr left_, right_;
+  /// Batch-probe: both inputs are drained in whole blocks; the merge logic
+  /// below reads rows out of the buffered blocks and stays bit-identical.
+  BatchedReader left_reader_, right_reader_;
   std::vector<size_t> left_keys_, right_keys_;
   Schema schema_;
 

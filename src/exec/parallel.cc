@@ -34,7 +34,8 @@ ParallelSortCursor::ParallelSortCursor(CursorPtr child,
 Result<bool> ParallelSortCursor::Run::Next(Tuple* tuple) {
   if (file.has_value()) return file->Next(tuple);
   if (pos >= mem.size()) return false;
-  *tuple = mem[pos++];
+  // Runs are rebuilt from the child on every Init, so moving out is safe.
+  *tuple = std::move(mem[pos++]);
   return true;
 }
 
@@ -94,20 +95,25 @@ Status ParallelSortCursor::Init() {
   std::vector<Tuple> chunk;
   size_t bytes = 0;
   size_t index = 0;
+  RowBlock block;
   Tuple t;
-  while (true) {
-    Result<bool> more = child_->Next(&t);
-    if (!more.ok()) {
-      first_error = more.status();
+  while (first_error.ok()) {
+    Result<size_t> batched = child_->NextBatch(&block);
+    if (!batched.ok()) {
+      first_error = batched.status();
       break;
     }
-    if (!more.ValueOrDie()) break;
-    bytes += TupleByteSize(t);
-    chunk.push_back(std::move(t));
-    if (bytes > chunk_bytes) {
-      submit(std::move(chunk), index++);
-      chunk = {};
-      bytes = 0;
+    const size_t n = batched.ValueOrDie();
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      block.MoveRowTo(i, &t);
+      bytes += TupleByteSize(t);
+      chunk.push_back(std::move(t));
+      if (bytes > chunk_bytes) {
+        submit(std::move(chunk), index++);
+        chunk = {};
+        bytes = 0;
+      }
     }
   }
   if (first_error.ok() && !chunk.empty()) submit(std::move(chunk), index++);
@@ -166,6 +172,21 @@ Result<bool> ParallelSortCursor::Next(Tuple* tuple) {
     std::push_heap(heap_.begin(), heap_.end(), HeapCmp{&cmp_});
   }
   return true;
+}
+
+Result<size_t> ParallelSortCursor::NextBatch(RowBlock* block) {
+  if (!merging_) {
+    block->Clear();
+    if (runs_.empty()) return 0;
+    std::vector<Tuple>& mem = runs_[0].mem;
+    if (!runs_[0].file.has_value()) {
+      while (runs_[0].pos < mem.size() && !block->full()) {
+        block->AppendRow(std::move(mem[runs_[0].pos++]));
+      }
+      return block->rows();
+    }
+  }
+  return Cursor::NextBatch(block);
 }
 
 // ---------------------------------------------------------------------------
@@ -231,10 +252,14 @@ ParallelTemporalJoinCursor::ParallelTemporalJoinCursor(
 CursorPtr ParallelTemporalJoinCursor::MakeSerialJoin(
     std::vector<Tuple> left_rows, std::vector<Tuple> right_rows) const {
   // The child schemas are only needed for arity; reuse the inputs' schemas.
+  // The fallback join is drained exactly once, so the partitions' cursors
+  // move their rows out instead of deep-copying each tuple.
   auto lv = std::make_unique<VectorCursor>(left_->schema(),
-                                           std::move(left_rows));
+                                           std::move(left_rows),
+                                           VectorCursor::Drain::kOneShot);
   auto rv = std::make_unique<VectorCursor>(right_->schema(),
-                                           std::move(right_rows));
+                                           std::move(right_rows),
+                                           VectorCursor::Drain::kOneShot);
   return std::make_unique<TemporalJoinCursor>(
       std::move(lv), std::move(rv), left_keys_, right_keys_, left_t1_,
       left_t2_, right_t1_, right_t2_, left_out_, right_out_, schema_);
@@ -323,8 +348,10 @@ Status ParallelTemporalJoinCursor::Init() {
                                          std::vector<Tuple> rp, int64_t lo,
                                          int64_t hi) -> Result<std::vector<Tuple>> {
     const auto start = Clock::now();
-    auto lv = std::make_unique<VectorCursor>(left_->schema(), std::move(lp));
-    auto rv = std::make_unique<VectorCursor>(right_->schema(), std::move(rp));
+    auto lv = std::make_unique<VectorCursor>(left_->schema(), std::move(lp),
+                                             VectorCursor::Drain::kOneShot);
+    auto rv = std::make_unique<VectorCursor>(right_->schema(), std::move(rp),
+                                             VectorCursor::Drain::kOneShot);
     WindowedTemporalJoinCursor join(
         std::move(lv), std::move(rv), left_keys_, right_keys_, left_t1_,
         left_t2_, right_t1_, right_t2_, left_out_, right_out_, schema_, lo,
@@ -378,8 +405,17 @@ Status ParallelTemporalJoinCursor::Init() {
 
 Result<bool> ParallelTemporalJoinCursor::Next(Tuple* tuple) {
   if (pos_ >= out_rows_.size()) return false;
-  *tuple = out_rows_[pos_++];
+  // out_rows_ is rebuilt on every Init, so moving out is safe.
+  *tuple = std::move(out_rows_[pos_++]);
   return true;
+}
+
+Result<size_t> ParallelTemporalJoinCursor::NextBatch(RowBlock* block) {
+  block->Clear();
+  while (pos_ < out_rows_.size() && !block->full()) {
+    block->AppendRow(std::move(out_rows_[pos_++]));
+  }
+  return block->rows();
 }
 
 // ---------------------------------------------------------------------------
@@ -414,7 +450,7 @@ Status PrefetchCursor::Init() {
     finished_ = false;
     cancel_ = false;
   }
-  batch_.clear();
+  batch_.Clear();
   batch_pos_ = 0;
   saw_error_ = false;
   producer_ = std::thread([this]() { ProducerLoop(); });
@@ -432,7 +468,7 @@ void PrefetchCursor::ProducerLoop() {
   // out — finish normally with the control's status so a consumer that IS
   // still reading sees a clean transient error.
   enum class PushOutcome { kPushed, kConsumerGone, kControlDead };
-  auto push = [this](std::vector<Tuple> rows) {
+  auto push = [this](RowBlock block) {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
       if (cancel_) return PushOutcome::kConsumerGone;
@@ -445,40 +481,33 @@ void PrefetchCursor::ProducerLoop() {
       // consumer never drains another batch.
       not_full_.wait_for(lock, std::chrono::milliseconds(5));
     }
-    queue_.push_back(std::move(rows));
+    queue_.push_back(std::move(block));
     not_empty_.notify_one();
     return PushOutcome::kPushed;
   };
 
   Status status = inner_->Init();
   if (status.ok()) {
-    std::vector<Tuple> batch;
-    batch.reserve(batch_rows_);
-    Tuple t;
+    // The producer fills whole blocks: one virtual call into the inner
+    // cursor and one queue handoff per block. A batched inner cursor (the
+    // wire drain) may return partial blocks; each is pushed as-is so the
+    // consumer never waits on a block the wire has already delivered.
+    RowBlock block(batch_rows_);
     while (true) {
-      Result<bool> more = inner_->Next(&t);
-      if (!more.ok()) {
-        status = more.status();
+      Result<size_t> batched = inner_->NextBatch(&block);
+      if (!batched.ok()) {
+        status = batched.status();
         break;
       }
-      if (!more.ValueOrDie()) break;
-      batch.push_back(std::move(t));
-      if (batch.size() >= batch_rows_) {
-        active_seconds = SecondsSince(started);
-        const PushOutcome out = push(std::move(batch));
-        if (out == PushOutcome::kConsumerGone) return;
-        if (out == PushOutcome::kControlDead) {
-          status = CheckControl(control_);
-          break;
-        }
-        batch = {};
-        batch.reserve(batch_rows_);
-      }
-    }
-    if (status.ok() && !batch.empty()) {
-      const PushOutcome out = push(std::move(batch));
+      if (batched.ValueOrDie() == 0) break;
+      active_seconds = SecondsSince(started);
+      const PushOutcome out = push(std::move(block));
       if (out == PushOutcome::kConsumerGone) return;
-      if (out == PushOutcome::kControlDead) status = CheckControl(control_);
+      if (out == PushOutcome::kControlDead) {
+        status = CheckControl(control_);
+        break;
+      }
+      block = RowBlock(batch_rows_);
     }
   }
 
@@ -495,11 +524,44 @@ void PrefetchCursor::ProducerLoop() {
 Result<bool> PrefetchCursor::Next(Tuple* tuple) {
   if (saw_error_) return producer_status_;
   while (true) {
-    if (batch_pos_ < batch_.size()) {
-      *tuple = std::move(batch_[batch_pos_++]);
+    if (batch_pos_ < batch_.rows()) {
+      batch_.MoveRowTo(batch_pos_++, tuple);
       return true;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    TANGO_ASSIGN_OR_RETURN(bool popped, PopBlock());
+    if (!popped) return false;
+  }
+}
+
+Result<size_t> PrefetchCursor::NextBatch(RowBlock* block) {
+  if (saw_error_) return producer_status_;
+  block->Clear();
+  // Serve any rows left over from a Next-drained block first, then hand the
+  // next producer block across wholesale (capacity stays the consumer's).
+  if (batch_pos_ >= batch_.rows()) {
+    TANGO_ASSIGN_OR_RETURN(bool popped, PopBlock());
+    if (!popped) return 0;
+  }
+  if (batch_pos_ == 0) {
+    const size_t cap = block->capacity();
+    *block = std::move(batch_);
+    block->set_capacity(cap);
+    batch_ = RowBlock();
+    return block->rows();
+  }
+  while (batch_pos_ < batch_.rows() && !block->full()) {
+    Tuple t;
+    batch_.MoveRowTo(batch_pos_++, &t);
+    block->AppendRow(std::move(t));
+  }
+  return block->rows();
+}
+
+/// Pops the next producer block into batch_; false when the stream is done.
+/// Returns the producer's error once the queue is drained.
+Result<bool> PrefetchCursor::PopBlock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
     while (!finished_ && queue_.empty()) {
       if (control_ != nullptr) {
         // A dying query unblocks the consumer even if the producer is
@@ -513,7 +575,7 @@ Result<bool> PrefetchCursor::Next(Tuple* tuple) {
       queue_.pop_front();
       batch_pos_ = 0;
       not_full_.notify_one();
-      continue;
+      return true;
     }
     // Producer finished and the queue is drained.
     if (!producer_status_.ok()) {

@@ -43,6 +43,10 @@ class ParallelSortCursor : public Cursor, public WorkerTimedCursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Batched emit: the single-run fast path bulk-moves out of the in-memory
+  /// run; the k-way merge batches its output. Chunk generation in Init
+  /// drains the child via NextBatch.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return child_->schema(); }
 
   void set_worker_time_recorder(WorkerTimeRecorder recorder) override {
@@ -117,6 +121,8 @@ class ParallelTemporalJoinCursor : public Cursor, public WorkerTimedCursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Bulk-moves out of the materialized result (rebuilt on every Init).
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
   void set_worker_time_recorder(WorkerTimeRecorder recorder) override {
@@ -166,6 +172,9 @@ class PrefetchCursor : public Cursor, public WorkerTimedCursor {
   /// on that thread, so the wire drain begins immediately.
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Hands a whole producer-filled block across the SPSC queue per call —
+  /// the handoff cost is paid once per block instead of once per tuple.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
   void set_worker_time_recorder(WorkerTimeRecorder recorder) override {
@@ -182,6 +191,9 @@ class PrefetchCursor : public Cursor, public WorkerTimedCursor {
  private:
   void ProducerLoop();
   void StopProducer();
+  /// Blocks until the next producer block is available in batch_; false when
+  /// the stream is exhausted (or surfaces the producer's error).
+  Result<bool> PopBlock();
 
   CursorPtr inner_;
   Schema schema_;  // copied so schema() never races with the producer
@@ -195,12 +207,12 @@ class PrefetchCursor : public Cursor, public WorkerTimedCursor {
   std::thread producer_;
   std::mutex mu_;
   std::condition_variable not_empty_, not_full_;
-  std::deque<std::vector<Tuple>> queue_;
+  std::deque<RowBlock> queue_;  // producer fills whole blocks
   Status producer_status_;
   bool finished_ = false;  // producer pushed everything (or failed)
   bool cancel_ = false;    // consumer tears down early
 
-  std::vector<Tuple> batch_;  // consumer-local, being drained
+  RowBlock batch_;  // consumer-local, being drained
   size_t batch_pos_ = 0;
   bool saw_error_ = false;
 };

@@ -24,16 +24,22 @@ Status SortCursor::Init() {
   heap_.reset();
   pos_ = 0;
 
+  // Run generation pulls the child in whole blocks; the per-row budget
+  // accounting (and therefore where each run boundary falls) is unchanged.
   size_t bytes = 0;
+  RowBlock block;
   Tuple t;
   while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
-    if (!more) break;
-    bytes += TupleByteSize(t);
-    rows_.push_back(std::move(t));
-    if (bytes > budget_) {
-      TANGO_RETURN_IF_ERROR(SpillRun(&rows_));
-      bytes = 0;
+    TANGO_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&block));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      block.MoveRowTo(i, &t);
+      bytes += TupleByteSize(t);
+      rows_.push_back(std::move(t));
+      if (bytes > budget_) {
+        TANGO_RETURN_IF_ERROR(SpillRun(&rows_));
+        bytes = 0;
+      }
     }
   }
 
@@ -73,6 +79,21 @@ Result<bool> SortCursor::Next(Tuple* tuple) {
   TANGO_ASSIGN_OR_RETURN(bool more, runs_[top.run].Next(&next));
   if (more) heap_->push({std::move(next), top.run});
   return true;
+}
+
+Result<size_t> SortCursor::NextBatch(RowBlock* block) {
+  if (heap_ == nullptr) {
+    // In-memory path: bulk-copy straight out of the sorted vector (copies,
+    // not moves — a prepared plan may re-Init and replay).
+    block->Clear();
+    while (pos_ < rows_.size() && !block->full()) {
+      block->AppendRow(rows_[pos_++]);
+    }
+    return block->rows();
+  }
+  // Merge path: the k-way heap is inherently row-at-a-time; batch the emit
+  // so downstream operators still get one virtual call per block.
+  return Cursor::NextBatch(block);
 }
 
 }  // namespace exec

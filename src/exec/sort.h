@@ -29,6 +29,10 @@ class SortCursor : public Cursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Batched emit: the in-memory path bulk-copies out of the sorted vector;
+  /// the external path batches the k-way merge's output. Run generation in
+  /// Init drains the child via NextBatch either way.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return child_->schema(); }
 
   /// Number of spilled runs (observability for tests; 0 = fully in memory).

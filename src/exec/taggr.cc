@@ -9,6 +9,7 @@ TemporalAggregationCursor::TemporalAggregationCursor(
     CursorPtr child, std::vector<size_t> group_cols, size_t t1, size_t t2,
     std::vector<TAggrSpec> aggs, Schema out_schema)
     : child_(std::move(child)),
+      reader_(child_.get()),
       group_cols_(std::move(group_cols)),
       t1_(t1),
       t2_(t2),
@@ -16,7 +17,7 @@ TemporalAggregationCursor::TemporalAggregationCursor(
       schema_(std::move(out_schema)) {}
 
 Status TemporalAggregationCursor::Init() {
-  TANGO_RETURN_IF_ERROR(child_->Init());
+  TANGO_RETURN_IF_ERROR(reader_.Init());
   group_rows_.clear();
   pending_valid_ = false;
   input_done_ = false;
@@ -37,7 +38,7 @@ Result<bool> TemporalAggregationCursor::LoadNextGroup() {
     } else if (input_done_) {
       more = false;
     } else {
-      TANGO_ASSIGN_OR_RETURN(more, child_->Next(&row));
+      TANGO_ASSIGN_OR_RETURN(more, reader_.Next(&row));
       if (!more) input_done_ = true;
     }
     if (!more) return !group_rows_.empty();
@@ -206,6 +207,23 @@ Result<bool> TemporalAggregationCursor::Next(Tuple* tuple) {
   }
   *tuple = std::move(output_[out_pos_++]);
   return true;
+}
+
+Result<size_t> TemporalAggregationCursor::NextBatch(RowBlock* block) {
+  block->Clear();
+  while (!block->full()) {
+    if (out_pos_ >= output_.size()) {
+      output_.clear();
+      out_pos_ = 0;
+      TANGO_ASSIGN_OR_RETURN(bool have_group, LoadNextGroup());
+      if (!have_group) break;
+      SweepGroup();
+    }
+    while (out_pos_ < output_.size() && !block->full()) {
+      block->AppendRow(std::move(output_[out_pos_++]));
+    }
+  }
+  return block->rows();
 }
 
 }  // namespace exec

@@ -43,6 +43,10 @@ class TemporalAggregationCursor : public Cursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Batched emit: each call moves already-swept constant-interval tuples
+  /// out in bulk, sweeping further groups as needed to fill the block. The
+  /// child is drained in whole blocks either way.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
  private:
@@ -66,6 +70,7 @@ class TemporalAggregationCursor : public Cursor {
   Value CurrentValue(size_t agg_index) const;
 
   CursorPtr child_;
+  BatchedReader reader_;
   std::vector<size_t> group_cols_;
   size_t t1_, t2_;
   std::vector<TAggrSpec> aggs_;

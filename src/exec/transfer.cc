@@ -1,5 +1,7 @@
 #include "exec/transfer.h"
 
+#include <algorithm>
+
 namespace tango {
 namespace exec {
 
@@ -55,6 +57,7 @@ Status TransferMCursor::TryOpen(size_t skip) {
           "\" returned fewer rows than already delivered");
     }
   }
+  if (counters_ != nullptr && skip > 0) counters_->rows_skipped.Increment(skip);
   return Status::OK();
 }
 
@@ -75,14 +78,11 @@ Status TransferMCursor::Init() {
   // Execute dependencies first (TRANSFER^D loads happen in their Init).
   for (const CursorPtr& dep : dependencies_) {
     TANGO_RETURN_IF_ERROR(dep->Init());
-    Tuple t;
-    size_t drained = 0;
+    RowBlock block(kControlPollStride);
     while (true) {
-      TANGO_ASSIGN_OR_RETURN(bool more, dep->Next(&t));
-      if (!more) break;
-      if (++drained % kControlPollStride == 0) {
-        TANGO_RETURN_IF_ERROR(CheckControl(control_));
-      }
+      TANGO_ASSIGN_OR_RETURN(const size_t n, dep->NextBatch(&block));
+      if (n == 0) break;
+      TANGO_RETURN_IF_ERROR(CheckControl(control_));
     }
   }
   cached_rows_ = nullptr;
@@ -161,6 +161,39 @@ Result<bool> TransferMCursor::Next(Tuple* tuple) {
   }
 }
 
+Result<size_t> TransferMCursor::NextBatch(RowBlock* block) {
+  if (cached_rows_ != nullptr) {
+    block->Clear();
+    while (cached_pos_ < cached_rows_->size() && !block->full()) {
+      block->AppendRow((*cached_rows_)[cached_pos_++]);
+    }
+    return block->rows();
+  }
+  while (true) {
+    Result<size_t> r = remote_->NextBatch(block);
+    if (r.ok()) {
+      const size_t n = r.ValueOrDie();
+      delivered_ += n;
+      if (obs_.rows_to_middleware != nullptr && n > 0) {
+        obs_.rows_to_middleware->Increment(n);
+      }
+      return n;
+    }
+    if (!retry_->ShouldRetry(r.status())) {
+      return TagTransient(r.status(), "TRANSFER^M", sql_);
+    }
+    if (counters_ != nullptr) ++counters_->tm_retries;
+    {
+      obs::ScopedSpan backoff(obs_.trace, "retry.backoff", "retry", obs_.span);
+      TANGO_RETURN_IF_ERROR(retry_->Backoff(control_));
+    }
+    // The failed fetch delivered nothing (errors surface before any row
+    // leaves the wire buffer), so `delivered_` is exact — and, because
+    // fetches fail only between blocks, block-aligned.
+    TANGO_RETURN_IF_ERROR(Restore(delivered_));
+  }
+}
+
 TransferDCursor::TransferDCursor(dbms::Connection* conn,
                                  std::string table_name,
                                  std::vector<std::string> columns,
@@ -206,14 +239,19 @@ Status TransferDCursor::Init() {
   // middleware subtree.
   TANGO_RETURN_IF_ERROR(child_->Init());
   std::vector<Tuple> rows;
+  RowBlock block(kControlPollStride);
   Tuple t;
   while (true) {
-    TANGO_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
-    if (!more) break;
-    rows.push_back(std::move(t));
-    if (rows.size() % kControlPollStride == 0) {
-      TANGO_RETURN_IF_ERROR(CheckControl(control_));
+    TANGO_ASSIGN_OR_RETURN(const size_t n, child_->NextBatch(&block));
+    if (n == 0) break;
+    if (rows.capacity() < rows.size() + n) {
+      rows.reserve(std::max(rows.size() + n, rows.capacity() * 2));
     }
+    for (size_t i = 0; i < n; ++i) {
+      block.MoveRowTo(i, &t);
+      rows.push_back(std::move(t));
+    }
+    TANGO_RETURN_IF_ERROR(CheckControl(control_));
   }
   rows_loaded_ = rows.size();
 

@@ -96,6 +96,12 @@ class TransferMCursor : public Cursor {
 
   Status Init() override;
   Result<bool> Next(Tuple* tuple) override;
+  /// Batched delivery: hands whole decoded wire blocks downstream (or
+  /// copies a block's worth out of the shared cache). Remote fetch errors
+  /// only surface at block boundaries, so `delivered_` — the restart-skip
+  /// offset — stays block-aligned and a re-issued SELECT repositions on the
+  /// same block grid.
+  Result<size_t> NextBatch(RowBlock* block) override;
   const Schema& schema() const override { return schema_; }
 
   const std::string& sql() const { return sql_; }

@@ -42,13 +42,14 @@ void RenderOp(const AnalyzeReport& report, size_t id, int depth,
   const bool loads_only = op.label == "TRANSFER^D";
   char buf[160];
   if (loads_only) {
-    std::snprintf(buf, sizeof(buf), " rows est=%s act=- q=-",
+    std::snprintf(buf, sizeof(buf), " rows est=%s act=- q=- batches=-",
                   FormatRows(op.est_rows).c_str());
   } else {
-    std::snprintf(buf, sizeof(buf), " rows est=%s act=%llu q=%.2f",
+    std::snprintf(buf, sizeof(buf), " rows est=%s act=%llu q=%.2f batches=%llu",
                   FormatRows(op.est_rows).c_str(),
                   static_cast<unsigned long long>(op.act_rows),
-                  QError(op.est_rows, static_cast<double>(op.act_rows)));
+                  QError(op.est_rows, static_cast<double>(op.act_rows)),
+                  static_cast<unsigned long long>(op.act_batches));
   }
   *out += buf;
 

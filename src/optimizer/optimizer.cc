@@ -161,7 +161,8 @@ Result<PhysPlanPtr> Optimizer::FindBest(Memo* memo, size_t group,
         consider(MakeNode(Algorithm::kTransferM,
                           SyntheticOp(algebra::OpKind::kTransferM, g.schema),
                           Site::kMiddleware, child->order,
-                          model_->TransferM(g.stats.size()), g, {child}));
+                          model_->TransferM(g.stats.size(), g.stats.cardinality),
+                          g, {child}));
       }
     }
   } else {
@@ -186,7 +187,8 @@ Result<PhysPlanPtr> Optimizer::FindBest(Memo* memo, size_t group,
       if (child != nullptr) {
         consider(MakeNode(Algorithm::kTransferD,
                           SyntheticOp(algebra::OpKind::kTransferD, g.schema),
-                          Site::kDbms, {}, model_->TransferD(g.stats.size()),
+                          Site::kDbms, {},
+                          model_->TransferD(g.stats.size(), g.stats.cardinality),
                           g, {child}));
       }
     }

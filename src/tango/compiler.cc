@@ -192,7 +192,7 @@ Result<CursorPtr> PlanCompiler::CompileTransferM(const PhysPlan& node,
     // (the TRANSFER^M entry keeps measuring the real transfer work, now on
     // the producer thread).
     auto prefetch = std::make_unique<exec::PrefetchCursor>(
-        std::move(instrumented), conn_->config().row_prefetch,
+        std::move(instrumented), batch_size_,
         /*max_batches=*/4, control_);
     // The producer span parents to the execute span (not the operator): the
     // producer thread outlives the operator's Init interval.

@@ -66,6 +66,10 @@ class PlanCompiler {
   /// paper's "support very large relations" enhancement).
   void set_sort_memory_budget(size_t bytes) { sort_budget_ = bytes; }
 
+  /// Rows per RowBlock on the batched execution path (the prefetch drain's
+  /// block granularity).
+  void set_batch_size(size_t rows) { batch_size_ = rows == 0 ? 1 : rows; }
+
   /// Degree of parallelism for the middleware algorithms. At 1 (default)
   /// the serial cursors are compiled; above 1 the plan gets a shared
   /// ThreadPool and SORT^M / TJOIN^M / the T^M drain use their parallel
@@ -124,6 +128,7 @@ class PlanCompiler {
   int temp_counter_ = 0;
   bool share_transfers_ = true;
   size_t sort_budget_ = 32 << 20;
+  size_t batch_size_ = RowBlock::kDefaultCapacity;
   size_t dop_ = 1;
   QueryControlPtr control_;
   RetryPolicy retry_;

@@ -54,6 +54,7 @@ obs::AnalyzeReport BuildReport(const CompiledPlan& compiled,
     op.est_bytes = p.est_bytes;
     op.est_cost_us = p.cost;
     op.act_rows = t.rows;
+    op.act_batches = t.batches;
     op.inclusive_seconds = t.inclusive_seconds;
     op.self_seconds = exec::SelfSeconds(exec.timings, node.timing_id);
     op.worker_seconds = t.worker_seconds;
@@ -296,6 +297,7 @@ Result<Middleware::Execution> Middleware::ExecuteOnce(
   PlanCompiler compiler(&connection_);
   compiler.set_share_common_transfers(config_.share_common_transfers);
   compiler.set_sort_memory_budget(config_.sort_memory_budget_bytes);
+  compiler.set_batch_size(config_.batch_size);
   compiler.set_dop(config_.dop);
   compiler.set_query_control(control);
   compiler.set_retry_policy(config_.retry);
@@ -344,6 +346,12 @@ Result<Middleware::Execution> Middleware::ExecuteOnce(
   exec.sql_statements = compiled.sql_statements;
   exec.cleanup_status = cleanup;
   metrics_->histogram("query.latency_seconds").Record(exec.elapsed_seconds);
+  // Vectorization observability: rows that reached the (batched) root drain
+  // and RowBlocks produced across all operators of this plan.
+  metrics_->counter("exec.batch.rows").Increment(exec.rows.size());
+  uint64_t plan_batches = 0;
+  for (const exec::AlgorithmTiming& t : exec.timings) plan_batches += t.batches;
+  metrics_->counter("exec.batch.blocks").Increment(plan_batches);
 
   if (config_.adapt) ApplyFeedback(compiled, exec.timings);
   if (provenance != nullptr && provenance->cache_entry != nullptr) {

@@ -46,6 +46,11 @@ class Middleware {
     bool share_common_transfers = true;
     /// Memory each SORT^M may use before spilling runs to tmpfiles.
     size_t sort_memory_budget_bytes = 32 << 20;
+    /// Rows per RowBlock in the vectorized execution path; governs the
+    /// prefetch drain's block granularity (operators size their internal
+    /// blocks from their consumer's block, so this is the system-wide
+    /// default the benches sweep).
+    size_t batch_size = RowBlock::kDefaultCapacity;
     /// Degree of parallelism of the middleware execution engine: 1 runs the
     /// serial algorithms; above 1 SORT^M, TJOIN^M, and the T^M drain use
     /// their parallel variants on a `dop`-worker pool, and the Figure-6 cost
@@ -88,6 +93,7 @@ class Middleware {
         plan_cache_(config.plan_cache, metrics_) {
     connection_.set_metrics(metrics_);
     cost_model_.set_parallelism(config_.dop, config_.parallel_efficiency);
+    cost_model_.set_batch_size(config_.batch_size);
     // Best-effort: an unreachable DBMS at startup must not prevent the
     // middleware from coming up (the sweep reruns on the next start).
     if (config_.sweep_orphans_on_start) (void)SweepOrphanTempTables();

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "cost/calibrate.h"
 #include "dbms/engine.h"
 
@@ -43,24 +46,34 @@ TEST(CalibratorTest, FitsPositiveFactorsAndCleansUp) {
 
 TEST(CalibratorTest, WirePacingRaisesTransferFactor) {
   dbms::Engine db;
-
-  dbms::WireConfig fast;
-  fast.simulate_delay = false;
-  dbms::Connection fast_conn(&db, fast);
   Calibrator::Options opts;
   opts.probe_rows = 4096;
-  CostModel fast_model;
-  ASSERT_TRUE(Calibrator(&fast_conn, opts).Calibrate(&fast_model).ok());
 
-  dbms::WireConfig slow;
-  slow.simulate_delay = true;
-  slow.bytes_per_second = 5e6;
-  dbms::Connection slow_conn(&db, slow);
-  CostModel slow_model;
-  ASSERT_TRUE(Calibrator(&slow_conn, opts).Calibrate(&slow_model).ok());
+  // Pacing is additive — 1 MB/s adds ~1 us per byte on top of whatever the
+  // CPU costs — so the assertion is additive too: a ratio check breaks under
+  // a sanitizer, where the CPU baseline per byte inflates tenfold while the
+  // pacing term stays fixed. The min over two calibrations per configuration
+  // keeps a load spike in a single multi-second probe run from flipping the
+  // comparison.
+  auto min_tm = [&](bool paced) {
+    dbms::WireConfig wire;
+    wire.simulate_delay = paced;
+    wire.bytes_per_second = 1e6;
+    dbms::Connection conn(&db, wire);
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 2; ++i) {
+      CostModel model;
+      EXPECT_TRUE(Calibrator(&conn, opts).Calibrate(&model).ok());
+      best = std::min(best, model.factors().tm);
+    }
+    return best;
+  };
+  const double fast_tm = min_tm(false);
+  const double slow_tm = min_tm(true);
 
-  // A slower wire must calibrate to a larger per-byte transfer factor.
-  EXPECT_GT(slow_model.factors().tm, fast_model.factors().tm * 2);
+  // A slower wire must calibrate to a larger per-byte transfer factor; ask
+  // for a third of the 1 us/byte pacing signal to survive timing noise.
+  EXPECT_GT(slow_tm, fast_tm + 0.3);
 }
 
 }  // namespace

@@ -6,10 +6,13 @@
 #include <set>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "exec/basic.h"
 #include "exec/join.h"
+#include "exec/parallel.h"
 #include "exec/sort.h"
 #include "exec/taggr.h"
+#include "expr/expr.h"
 
 namespace tango {
 namespace exec {
@@ -215,6 +218,193 @@ TEST(CursorReinitTest, AlgorithmsAreReExecutable) {
   const auto s1 = MaterializeAll(&sort).ValueOrDie();
   const auto s2 = MaterializeAll(&sort).ValueOrDie();
   EXPECT_EQ(s1.size(), s2.size());
+}
+
+// ---------------------------------------------------------------------------
+// Batch/tuple differential harness: for every operator, draining via
+// NextBatch (at several block capacities, including degenerate ones) must
+// produce the exact row sequence the tuple-at-a-time drain produces. The
+// same cursor object is drained repeatedly, which also exercises re-Init.
+
+std::vector<Tuple> DrainTuple(Cursor* c) {
+  EXPECT_TRUE(c->Init().ok());
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (true) {
+    auto more = c->Next(&t);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !more.ValueOrDie()) break;
+    rows.push_back(t);
+  }
+  return rows;
+}
+
+std::vector<Tuple> DrainBatch(Cursor* c, size_t capacity) {
+  EXPECT_TRUE(c->Init().ok());
+  std::vector<Tuple> rows;
+  RowBlock block(capacity);
+  Tuple t;
+  while (true) {
+    auto n = c->NextBatch(&block);
+    EXPECT_TRUE(n.ok()) << n.status().ToString();
+    if (!n.ok() || n.ValueOrDie() == 0) break;
+    for (size_t i = 0; i < n.ValueOrDie(); ++i) {
+      block.MoveRowTo(i, &t);
+      rows.push_back(std::move(t));
+    }
+  }
+  return rows;
+}
+
+void ExpectSameRows(const std::vector<Tuple>& want,
+                    const std::vector<Tuple>& got, const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i].size(), got[i].size()) << what << " row " << i;
+    for (size_t c = 0; c < want[i].size(); ++c) {
+      ASSERT_EQ(want[i][c].Compare(got[i][c]), 0)
+          << what << " row " << i << " col " << c;
+    }
+  }
+}
+
+/// Drains `cursor` tuple-at-a-time, then batched at capacities 1/2/7/1024,
+/// asserting bit-identical output every time.
+void RunDifferential(Cursor* cursor, const std::string& what) {
+  const auto want = DrainTuple(cursor);
+  for (const size_t capacity : {size_t{1}, size_t{2}, size_t{7},
+                                RowBlock::kDefaultCapacity}) {
+    const auto got = DrainBatch(cursor, capacity);
+    ExpectSameRows(want, got,
+                   what + " @capacity=" + std::to_string(capacity));
+  }
+  // Mixing row and batch calls between Inits must also replay identically.
+  const auto again = DrainTuple(cursor);
+  ExpectSameRows(want, again, what + " re-drained tuple-at-a-time");
+}
+
+CursorPtr KeyedVector(std::vector<Tuple> rows) {
+  return std::make_unique<VectorCursor>(KeyedSchema(), std::move(rows));
+}
+
+TEST(BatchDifferentialTest, FilterCursor) {
+  auto pred = Bind(Expr::Binary(BinaryOp::kLt, Expr::ColumnRef("T1"),
+                                Expr::Int(30)),
+                   KeyedSchema())
+                  .ValueOrDie();
+  FilterCursor f(KeyedVector(RandomPeriods(91, 500, 8, 80)), pred);
+  RunDifferential(&f, "FILTER^M");
+  // An all-rejecting filter must terminate the batch drain with zero.
+  auto none = Bind(Expr::Binary(BinaryOp::kLt, Expr::ColumnRef("T1"),
+                                Expr::Int(-1)),
+                   KeyedSchema())
+                  .ValueOrDie();
+  FilterCursor empty(KeyedVector(RandomPeriods(91, 100, 8, 80)), none);
+  RunDifferential(&empty, "FILTER^M(empty)");
+}
+
+TEST(BatchDifferentialTest, ProjectCursor) {
+  Schema out({{"", "K", DataType::kInt}, {"", "DUR", DataType::kInt}});
+  auto k = Bind(Expr::ColumnRef("K"), KeyedSchema()).ValueOrDie();
+  auto dur = Bind(Expr::Binary(BinaryOp::kSub, Expr::ColumnRef("T2"),
+                               Expr::ColumnRef("T1")),
+                  KeyedSchema())
+                 .ValueOrDie();
+  ProjectCursor p(KeyedVector(RandomPeriods(92, 400, 6, 70)), {k, dur}, out);
+  RunDifferential(&p, "PROJECT^M");
+}
+
+TEST(BatchDifferentialTest, SortCursorInMemoryAndSpilled) {
+  const auto rows = RandomPeriods(93, 800, 10, 90);
+  SortCursor in_mem(KeyedVector(rows), {{0, true}, {1, true}});
+  RunDifferential(&in_mem, "SORT^M(in-memory)");
+  SortCursor spilled(KeyedVector(rows), {{0, true}, {1, true}},
+                     /*memory_budget_bytes=*/4096);
+  RunDifferential(&spilled, "SORT^M(spilled)");
+}
+
+TEST(BatchDifferentialTest, DupElimAndDifferenceAndCoalesce) {
+  auto sorted = SortedForCoalesce(RandomPeriods(94, 300, 5, 60));
+  DupElimCursor dup(KeyedVector(sorted));
+  RunDifferential(&dup, "DUPELIM^M");
+
+  auto all_sorted = sorted;
+  std::sort(all_sorted.begin(), all_sorted.end(),
+            [](const Tuple& a, const Tuple& b) {
+              for (size_t i = 0; i < a.size(); ++i) {
+                if (int c = a[i].Compare(b[i]); c != 0) return c < 0;
+              }
+              return false;
+            });
+  std::vector<Tuple> half(all_sorted.begin(),
+                          all_sorted.begin() + all_sorted.size() / 2);
+  DifferenceCursor diff(KeyedVector(all_sorted), KeyedVector(half));
+  RunDifferential(&diff, "DIFF^M");
+
+  CoalesceCursor coal(KeyedVector(sorted), 1, 2);
+  RunDifferential(&coal, "COALESCE^M");
+}
+
+TEST(BatchDifferentialTest, MergeAndTemporalJoin) {
+  auto left = SortedForCoalesce(RandomPeriods(95, 250, 6, 70));
+  auto right = SortedForCoalesce(RandomPeriods(96, 200, 6, 70));
+  MergeJoinCursor mj(KeyedVector(left), KeyedVector(right), {0}, {0});
+  RunDifferential(&mj, "MERGEJOIN^M");
+
+  Schema out({{"", "K", DataType::kInt},
+              {"", "T1", DataType::kInt},
+              {"", "T2", DataType::kInt}});
+  TemporalJoinCursor tj(KeyedVector(left), KeyedVector(right), {0}, {0}, 1, 2,
+                        1, 2, /*left_out=*/{0}, /*right_out=*/{}, out);
+  RunDifferential(&tj, "TJOIN^M");
+}
+
+TEST(BatchDifferentialTest, TemporalAggregation) {
+  auto rows = SortedForCoalesce(RandomPeriods(97, 350, 4, 80));
+  Schema out({{"", "K", DataType::kInt},
+              {"", "T1", DataType::kInt},
+              {"", "T2", DataType::kInt},
+              {"", "C", DataType::kInt}});
+  TemporalAggregationCursor agg(KeyedVector(rows), {0}, 1, 2,
+                                {{AggFunc::kCount, 0, true}}, out);
+  RunDifferential(&agg, "TAGGR^M");
+}
+
+TEST(BatchDifferentialTest, ParallelSortAndJoinAndPrefetch) {
+  auto pool = std::make_shared<common::ThreadPool>(3);
+  const auto rows = RandomPeriods(98, 900, 12, 100);
+  ParallelSortCursor psort(KeyedVector(rows), {{0, true}, {1, true}}, pool,
+                           /*memory_budget_bytes=*/16384, /*dop=*/3);
+  RunDifferential(&psort, "parallel SORT^M");
+
+  auto left = SortedForCoalesce(RandomPeriods(99, 300, 6, 80));
+  auto right = SortedForCoalesce(RandomPeriods(100, 250, 6, 80));
+  Schema out({{"", "K", DataType::kInt},
+              {"", "T1", DataType::kInt},
+              {"", "T2", DataType::kInt}});
+  ParallelTemporalJoinCursor pjoin(KeyedVector(left), KeyedVector(right), {0},
+                                   {0}, 1, 2, 1, 2, /*left_out=*/{0},
+                                   /*right_out=*/{}, out, pool, /*dop=*/3);
+  RunDifferential(&pjoin, "parallel TJOIN^M");
+
+  PrefetchCursor prefetch(KeyedVector(RandomPeriods(101, 700, 5, 90)),
+                          /*batch_rows=*/64, /*max_batches=*/3);
+  RunDifferential(&prefetch, "prefetch drain");
+}
+
+TEST(VectorCursorTest, ReusableReplaysAfterDrainOneShotDoesNot) {
+  const auto rows = RandomPeriods(102, 50, 4, 40);
+  VectorCursor reusable(KeyedSchema(), rows);  // Drain::kReusable default
+  const auto first = DrainTuple(&reusable);
+  const auto second = DrainBatch(&reusable, 7);
+  ExpectSameRows(first, second, "reusable VectorCursor re-Init replay");
+  ASSERT_EQ(first.size(), rows.size());
+
+  // kOneShot moves rows out: the first drain delivers everything, and the
+  // contract is that the cursor is not re-Init'ed afterwards.
+  VectorCursor one_shot(KeyedSchema(), rows, VectorCursor::Drain::kOneShot);
+  const auto moved = DrainTuple(&one_shot);
+  ExpectSameRows(first, moved, "one-shot VectorCursor first drain");
 }
 
 }  // namespace

@@ -59,7 +59,7 @@ Middleware::Config StableConfig() {
 // exact:  "cost=1234us self=0.2ms" -> "cost=# self=#".
 std::string Normalize(const std::string& rendered) {
   static const std::regex volatile_fields(
-      R"((cost|self|incl|work|elapsed)=[^\s]+)");
+      R"((cost|self|incl|work|elapsed|batches)=[^\s]+)");
   return std::regex_replace(rendered, volatile_fields, "$1=#");
 }
 
@@ -96,8 +96,8 @@ TEST(ExplainAnalyzeSnapshotTest, Query1TemporalAggregation) {
   const std::string golden =
       "EXPLAIN ANALYZE rows=199 elapsed=#\n"
       "plan: fresh, executions=1, reoptimized=0\n"
-      "TAGGR^M [M] rows est=176 act=199 q=1.13 cost=# self=# incl=# work=#\n"
-      "  TRANSFER^M [M] rows est=150 act=150 q=1.00 cost=# self=# incl=# "
+      "TAGGR^M [M] rows est=176 act=199 q=1.13 batches=# cost=# self=# incl=# work=#\n"
+      "  TRANSFER^M [M] rows est=150 act=150 q=1.00 batches=# cost=# self=# incl=# "
       "work=#\n";
   EXPECT_EQ(golden, actual) << "actual:\n" << actual;
 }
@@ -111,10 +111,10 @@ TEST(ExplainAnalyzeSnapshotTest, Query2TemporalJoin) {
   const std::string golden =
       "EXPLAIN ANALYZE rows=557 elapsed=#\n"
       "plan: fresh, executions=1, reoptimized=0\n"
-      "TJOIN^M [M] rows est=440 act=557 q=1.27 cost=# self=# incl=# work=#\n"
-      "  TRANSFER^M [M] rows est=120 act=120 q=1.00 cost=# self=# incl=# "
+      "TJOIN^M [M] rows est=440 act=557 q=1.27 batches=# cost=# self=# incl=# work=#\n"
+      "  TRANSFER^M [M] rows est=120 act=120 q=1.00 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "  TRANSFER^M [M] rows est=100 act=100 q=1.00 cost=# self=# incl=# "
+      "  TRANSFER^M [M] rows est=100 act=100 q=1.00 batches=# cost=# self=# incl=# "
       "work=#\n";
   EXPECT_EQ(golden, actual) << "actual:\n" << actual;
 }
@@ -133,12 +133,12 @@ TEST(ExplainAnalyzeSnapshotTest, Query3AggregationJoinWithTransferD) {
   const std::string golden =
       "EXPLAIN ANALYZE rows=646 elapsed=#\n"
       "plan: fresh, executions=1, reoptimized=0\n"
-      "TRANSFER^M [M] rows est=521 act=646 q=1.24 cost=# self=# incl=# "
+      "TRANSFER^M [M] rows est=521 act=646 q=1.24 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "  TRANSFER^D [D] rows est=176 act=- q=- cost=# self=# incl=# work=#\n"
-      "    TAGGR^M [M] rows est=176 act=195 q=1.11 cost=# self=# incl=# "
+      "  TRANSFER^D [D] rows est=176 act=- q=- batches=# cost=# self=# incl=# work=#\n"
+      "    TAGGR^M [M] rows est=176 act=195 q=1.11 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "      TRANSFER^M [M] rows est=150 act=150 q=1.00 cost=# self=# incl=# "
+      "      TRANSFER^M [M] rows est=150 act=150 q=1.00 batches=# cost=# self=# incl=# "
       "work=#\n";
   EXPECT_EQ(golden, actual) << "actual:\n" << actual;
   EXPECT_NE(actual.find("TRANSFER^D"), std::string::npos);
@@ -153,16 +153,16 @@ TEST(ExplainAnalyzeSnapshotTest, Query4CoalescedAggregation) {
   const std::string golden =
       "EXPLAIN ANALYZE rows=177 elapsed=#\n"
       "plan: fresh, executions=1, reoptimized=0\n"
-      "SORT^M [M] rows est=123 act=177 q=1.43 cost=# self=# incl=# work=#\n"
-      "  COALESCE^M [M] rows est=123 act=177 q=1.43 cost=# self=# incl=# "
+      "SORT^M [M] rows est=123 act=177 q=1.43 batches=# cost=# self=# incl=# work=#\n"
+      "  COALESCE^M [M] rows est=123 act=177 q=1.43 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "    PROJECT^M [M] rows est=176 act=205 q=1.16 cost=# self=# incl=# "
+      "    PROJECT^M [M] rows est=176 act=205 q=1.16 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "      SORT^M [M] rows est=176 act=205 q=1.16 cost=# self=# incl=# "
+      "      SORT^M [M] rows est=176 act=205 q=1.16 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "        TAGGR^M [M] rows est=176 act=205 q=1.16 cost=# self=# incl=# "
+      "        TAGGR^M [M] rows est=176 act=205 q=1.16 batches=# cost=# self=# incl=# "
       "work=#\n"
-      "          TRANSFER^M [M] rows est=150 act=150 q=1.00 cost=# self=# "
+      "          TRANSFER^M [M] rows est=150 act=150 q=1.00 batches=# cost=# self=# "
       "incl=# work=#\n";
   EXPECT_EQ(golden, actual) << "actual:\n" << actual;
 }

@@ -215,5 +215,144 @@ TEST(WireFuzzTest, ForgedHugeArityDoesNotAllocate) {
   EXPECT_EQ(v.status().code(), StatusCode::kIOError);
 }
 
+// ---------------------------------------------------------------------------
+// Block-frame codec: the column-packed RowBlock encoding that carries every
+// prefetch batch and bulk-load chunk, under the same damage model.
+
+RowBlock RandomRowBlock(Rng* rng) {
+  const size_t arity = 1 + rng->Below(5);
+  const size_t rows = 1 + rng->Below(30);
+  RowBlock block(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    Tuple t;
+    t.reserve(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      switch (rng->Below(4)) {
+        case 0:
+          t.push_back(Value::Null());
+          break;
+        case 1:
+          t.push_back(Value(static_cast<int64_t>(rng->Next())));
+          break;
+        case 2:
+          t.push_back(Value(static_cast<double>(rng->Next()) / 7.0));
+          break;
+        default: {
+          std::string s(rng->Below(24), 'x');
+          for (char& ch : s) ch = static_cast<char>('a' + rng->Below(26));
+          t.push_back(Value(std::move(s)));
+          break;
+        }
+      }
+    }
+    block.AppendRow(std::move(t));
+  }
+  return block;
+}
+
+TEST(WireBlockFuzzTest, BlockRoundTripSurvivesSealing) {
+  Rng rng(0xB10C);
+  for (int iter = 0; iter < 200; ++iter) {
+    const RowBlock block = RandomRowBlock(&rng);
+    WireWriter writer;
+    writer.PutRowBlock(block);
+    const std::vector<uint8_t> framed = WireFrame::Seal(writer.buffer());
+
+    const uint8_t* body = nullptr;
+    size_t len = 0;
+    ASSERT_TRUE(WireFrame::Check(framed, &body, &len).ok());
+    WireReader reader(body, len);
+    RowBlock decoded;
+    auto n = reader.GetRowBlock(&decoded);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_EQ(n.ValueOrDie(), block.rows());
+    ASSERT_EQ(decoded.columns(), block.columns());
+    EXPECT_TRUE(reader.AtEnd());
+    for (size_t r = 0; r < block.rows(); ++r) {
+      for (size_t c = 0; c < block.columns(); ++c) {
+        EXPECT_EQ(decoded.At(r, c).Compare(block.At(r, c)), 0)
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(WireBlockFuzzTest, DamagedBlockFramesAreRejected) {
+  Rng rng(0xB10C2);
+  for (int iter = 0; iter < 400; ++iter) {
+    WireWriter writer;
+    writer.PutRowBlock(RandomRowBlock(&rng));
+    std::vector<uint8_t> framed = WireFrame::Seal(writer.buffer());
+    if (rng.Below(2) == 0) {
+      framed.resize(rng.Below(framed.size()));  // truncation, mid-block
+    } else {
+      framed[rng.Below(framed.size())] ^=
+          static_cast<uint8_t>(1u << rng.Below(8));  // CRC mismatch
+    }
+    const uint8_t* body = nullptr;
+    size_t len = 0;
+    const Status s = WireFrame::Check(framed, &body, &len);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
+}
+
+TEST(WireBlockFuzzTest, MutatedBlockPayloadsDecodeCleanlyOrFail) {
+  // Payload damage past the frame check (simulating an upstream bug) must
+  // surface as a Status from GetRowBlock, never UB or garbage growth.
+  Rng rng(0xB10C3);
+  for (int iter = 0; iter < 500; ++iter) {
+    WireWriter writer;
+    writer.PutRowBlock(RandomRowBlock(&rng));
+    std::vector<uint8_t> payload = writer.Take();
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) {
+      if (payload.empty()) break;
+      switch (rng.Below(3)) {
+        case 0:
+          payload[rng.Below(payload.size())] ^=
+              static_cast<uint8_t>(1u << rng.Below(8));
+          break;
+        case 1:
+          payload.resize(rng.Below(payload.size() + 1));
+          break;
+        default:
+          payload[rng.Below(payload.size())] =
+              static_cast<uint8_t>(rng.Next());
+          break;
+      }
+    }
+    WireReader reader(payload.data(), payload.size());
+    RowBlock decoded;
+    auto n = reader.GetRowBlock(&decoded);
+    if (!n.ok()) {
+      EXPECT_FALSE(n.status().message().empty());
+    }
+  }
+}
+
+TEST(WireBlockFuzzTest, ForgedBlockHeaderDoesNotAllocate) {
+  // rows=2^31, cols=2^31 would be 2^62 cells; the decoder must reject the
+  // header against the actual remaining bytes before reserving anything.
+  WireWriter writer;
+  writer.PutU32(0x80000000u);
+  writer.PutU32(0x80000000u);
+  writer.PutU8(1);
+  WireReader reader(writer.buffer());
+  RowBlock decoded;
+  auto n = reader.GetRowBlock(&decoded);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kIOError);
+
+  // rows>0 with cols=0 declares rows that cannot carry data: reject.
+  WireWriter w2;
+  w2.PutU32(5);
+  w2.PutU32(0);
+  WireReader r2(w2.buffer());
+  auto n2 = r2.GetRowBlock(&decoded);
+  ASSERT_FALSE(n2.ok());
+  EXPECT_EQ(n2.status().code(), StatusCode::kIOError);
+}
+
 }  // namespace
 }  // namespace tango
