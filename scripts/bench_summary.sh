@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Builds and runs the closed-loop vectorization bench and writes its JSON
-# summary to BENCH_vectorized.json at the repo root — the committed
-# perf-trajectory baseline for the block execution engine (EXPERIMENTS.md
-# E14). Re-run after any hot-path change and commit the refreshed JSON so
-# regressions show up in review as a diff, not a surprise.
+# Builds and runs the committed-baseline benches and writes their JSON
+# summaries at the repo root — the perf-trajectory baselines the repo
+# tracks in review as diffs, not surprises:
+#
+#   BENCH_vectorized.json   closed-loop vectorization bench (EXPERIMENTS.md
+#                           E14) — re-run after any hot-path change.
+#   BENCH_write_churn.json  durable write path (EXPERIMENTS.md E15) —
+#                           query latency quiet vs under temporal-update
+#                           churn, plus recovery-time vs log-length with
+#                           and without a checkpoint.
 #
 # Usage: scripts/bench_summary.sh [build-dir]   (default: build)
 
@@ -13,6 +18,8 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
 cmake -B "${BUILD}" -S . >/dev/null
-cmake --build "${BUILD}" -j "$(nproc)" --target bench_vectorized
-"./${BUILD}/bench_vectorized" BENCH_vectorized.json
+cmake --build "${BUILD}" -j "$(nproc)" --target bench_vectorized bench_write_churn
+"./${BUILD}/bench/bench_vectorized" BENCH_vectorized.json
 echo "BENCH_vectorized.json updated"
+"./${BUILD}/bench/bench_write_churn" BENCH_write_churn.json
+echo "BENCH_write_churn.json updated"

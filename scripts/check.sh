@@ -23,6 +23,13 @@
 # the feedback store are hit concurrently from every query thread, and
 # plan_cache_test's ConcurrentHammer only means something under TSan.
 #
+# The durability suites (wal_recovery_test, write_churn_test) are the write
+# path's referee: the crash matrix kills and recovers the engine at injected
+# LSN boundaries (torn tails, partial fsyncs), and the churn test races the
+# temporal-update writer against live queries — exactly the code whose
+# failure mode is a racy log append or a use-after-free in undo, so both
+# must stay green under ASan and TSan.
+#
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 
 set -euo pipefail
@@ -39,6 +46,7 @@ ADAPT_SUITES='^(plan_cache_test|feedback_test|fingerprint_test)$'
 # variants at DOP 4 — ASan catches a moved-from row reused, TSan a racy
 # block handoff, so both suites run under both sanitizers by name.
 VECTOR_SUITES='^(exec_property_test|parallel_exec_test)$'
+DURABILITY_SUITES='^(wal_recovery_test|write_churn_test)$'
 
 # A stuck test under a sanitizer leg should fail the run, not hang it.
 CTEST_TIMEOUT=600
@@ -81,6 +89,9 @@ run_config() {
     check_leaks "${name}" "${dir}"
     echo "=== ${name}: vectorization suites (batch/tuple differential + parallel) ==="
     (cd "${dir}" && ctest --output-on-failure -R "${VECTOR_SUITES}" --timeout "${CTEST_TIMEOUT}")
+    check_leaks "${name}" "${dir}"
+    echo "=== ${name}: durability suites (WAL crash matrix + write churn) ==="
+    (cd "${dir}" && ctest --output-on-failure -R "${DURABILITY_SUITES}" --timeout "${CTEST_TIMEOUT}")
     check_leaks "${name}" "${dir}"
   fi
   echo "=== ${name}: OK ==="

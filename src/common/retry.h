@@ -90,6 +90,8 @@ class RecoveryCounters {
         temp_table_drop_failures(registry_.counter("janitor.drop_failures")),
         temp_tables_leaked(registry_.counter("janitor.temp_tables_leaked")),
         orphans_swept(registry_.counter("janitor.orphans_swept")),
+        wal_segments_reclaimed(
+            registry_.counter("janitor.wal_segments_reclaimed")),
         downgrades(registry_.counter("recovery.downgrades")) {}
 
   RecoveryCounters(const RecoveryCounters&) = delete;
@@ -105,6 +107,9 @@ class RecoveryCounters {
   obs::Counter& temp_table_drop_failures;
   obs::Counter& temp_tables_leaked;
   obs::Counter& orphans_swept;
+  /// WAL segment/snapshot files reclaimed by the janitor's durable-garbage
+  /// sweep (segments wholly covered by the latest checkpoint snapshot).
+  obs::Counter& wal_segments_reclaimed;
   obs::Counter& downgrades;
 
   obs::MetricsRegistry& registry() { return registry_; }

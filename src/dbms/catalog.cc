@@ -16,6 +16,47 @@ Status Table::Append(const Tuple& tuple) {
   return Status::OK();
 }
 
+Result<storage::Rid> Table::ApplyInsert(const Tuple& tuple, uint64_t lsn) {
+  if (tuple.size() != schema().num_columns()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + name_);
+  }
+  const storage::Rid rid = file_.AppendStamped(tuple, lsn);
+  for (auto& [col, index] : indexes_) {
+    index->Insert(tuple[col], rid);
+  }
+  BumpEpoch();
+  return rid;
+}
+
+Status Table::ApplyUpdate(const storage::Rid& rid, const Tuple& before,
+                          const Tuple& after, uint64_t lsn) {
+  if (after.size() != schema().num_columns()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + name_);
+  }
+  TANGO_RETURN_IF_ERROR(file_.Update(rid, after, lsn));
+  for (auto& [col, index] : indexes_) {
+    if (col < before.size() && before[col] != after[col]) {
+      index->Remove(before[col], rid);
+      index->Insert(after[col], rid);
+    }
+  }
+  BumpEpoch();
+  return Status::OK();
+}
+
+Status Table::ApplyDelete(const storage::Rid& rid, const Tuple& tuple,
+                          uint64_t lsn) {
+  const bool was_live = !file_.IsDead(rid);
+  TANGO_RETURN_IF_ERROR(file_.MarkDeleted(rid, lsn));
+  if (was_live) {
+    for (auto& [col, index] : indexes_) {
+      if (col < tuple.size()) index->Remove(tuple[col], rid);
+    }
+    BumpEpoch();
+  }
+  return Status::OK();
+}
+
 Status Table::CreateIndex(size_t column) {
   if (column >= schema().num_columns()) {
     return Status::InvalidArgument("no such column");
@@ -38,6 +79,16 @@ Status Table::CreateIndex(size_t column) {
 const storage::BPlusTree* Table::GetIndex(size_t column) const {
   const auto it = indexes_.find(column);
   return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<size_t> Table::IndexedColumns() const {
+  std::vector<size_t> out;
+  out.reserve(indexes_.size());
+  for (const auto& [col, index] : indexes_) {
+    (void)index;
+    out.push_back(col);
+  }
+  return out;
 }
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
@@ -145,6 +196,7 @@ Status Catalog::Analyze(const std::string& name, size_t histogram_buckets) {
   }
 
   table->stats() = std::move(stats);
+  table->ResetModsSinceAnalyze();
   return Status::OK();
 }
 

@@ -36,6 +36,12 @@ struct TableStats {
   double blocks = 0;
   double avg_tuple_bytes = 0;
   std::vector<ColumnStats> columns;  // parallel to the schema
+  /// Staleness signals, filled from the live table when the stats cross the
+  /// wire (not by ANALYZE): the table's modification epoch at read time and
+  /// how many row mutations happened since the last ANALYZE. The middleware
+  /// compares epochs to re-collect only when something actually changed.
+  uint64_t epoch = 0;
+  uint64_t mods_since_analyze = 0;
 };
 
 /// \brief A stored table: heap file, secondary indexes, statistics.
@@ -52,19 +58,51 @@ class Table {
   /// Appends a tuple, maintaining all indexes.
   Status Append(const Tuple& tuple);
 
+  /// Logged insert: appends with an LSN stamp, maintains indexes, bumps the
+  /// modification epoch. Returns the new row's rid (for the undo journal).
+  Result<storage::Rid> ApplyInsert(const Tuple& tuple, uint64_t lsn);
+
+  /// Logged in-place update: `before` is the stored image (drives index
+  /// maintenance), `after` replaces it.
+  Status ApplyUpdate(const storage::Rid& rid, const Tuple& before,
+                     const Tuple& after, uint64_t lsn);
+
+  /// Logged tombstone (transaction undo of an insert): marks `rid` dead and
+  /// removes its index entries. Idempotent.
+  Status ApplyDelete(const storage::Rid& rid, const Tuple& tuple,
+                     uint64_t lsn);
+
   /// Builds a B+-tree index on the given column (by index).
   Status CreateIndex(size_t column);
   const storage::BPlusTree* GetIndex(size_t column) const;
   bool HasIndex(size_t column) const { return GetIndex(column) != nullptr; }
+  std::vector<size_t> IndexedColumns() const;
 
   TableStats& stats() { return stats_; }
   const TableStats& stats() const { return stats_; }
+
+  /// Monotone counter of content mutations (DML and direct-path loads
+  /// alike); the middleware's staleness check compares it across reads.
+  uint64_t stats_epoch() const { return stats_epoch_; }
+  uint64_t mods_since_analyze() const { return mods_since_analyze_; }
+  void BumpEpoch() {
+    ++stats_epoch_;
+    ++mods_since_analyze_;
+  }
+  /// Direct-path loads charge the whole batch at once.
+  void BumpEpochBy(uint64_t mods) {
+    stats_epoch_ += mods;
+    mods_since_analyze_ += mods;
+  }
+  void ResetModsSinceAnalyze() { mods_since_analyze_ = 0; }
 
  private:
   std::string name_;
   storage::HeapFile file_;
   std::map<size_t, std::unique_ptr<storage::BPlusTree>> indexes_;
   TableStats stats_;
+  uint64_t stats_epoch_ = 0;
+  uint64_t mods_since_analyze_ = 0;
 };
 
 /// \brief The DBMS system catalog: tables by (upper-cased) name.

@@ -32,6 +32,7 @@ class RemoteCursor : public Cursor {
     pos_ = 0;
     batch_no_ = 0;
     server_done_ = false;
+    const auto engine = conn_->AcquireEngine();
     return server_->Init();
   }
 
@@ -82,7 +83,11 @@ class RemoteCursor : public Cursor {
     // Server side: produce + serialize one block (one NextBatch of the
     // server plan — the block boundary is the batch boundary).
     server_block_.Clear();
-    TANGO_ASSIGN_OR_RETURN(const size_t n, server_->NextBatch(&server_block_));
+    size_t n = 0;
+    {
+      const auto engine = conn_->AcquireEngine();
+      TANGO_ASSIGN_OR_RETURN(n, server_->NextBatch(&server_block_));
+    }
     if (n == 0) {
       server_done_ = true;
       return Status::OK();
@@ -227,7 +232,11 @@ Result<QueryResult> Connection::Execute(const std::string& sql,
                                         const QueryControlPtr& control) {
   const auto wire = AcquireWire();
   TANGO_RETURN_IF_ERROR(StatementGate(sql, control, nullptr));
-  TANGO_ASSIGN_OR_RETURN(QueryResult result, engine_->Execute(sql));
+  QueryResult result;
+  {
+    const auto engine = AcquireEngine();
+    TANGO_ASSIGN_OR_RETURN(result, engine_->Execute(sql, session_));
+  }
   // The whole result set crosses the wire.
   if (!result.rows.empty()) {
     WireWriter writer;
@@ -244,7 +253,11 @@ Result<CursorPtr> Connection::ExecuteQuery(const std::string& sql,
   const auto wire = AcquireWire();
   bool faulted = false;
   TANGO_RETURN_IF_ERROR(StatementGate(sql, control, &faulted));
-  TANGO_ASSIGN_OR_RETURN(CursorPtr server, engine_->OpenQuery(sql));
+  CursorPtr server;
+  {
+    const auto engine = AcquireEngine();
+    TANGO_ASSIGN_OR_RETURN(server, engine_->OpenQuery(sql));
+  }
   return CursorPtr(std::make_unique<RemoteCursor>(
       this, std::move(server), config_.row_prefetch, control, faulted));
 }
@@ -295,6 +308,7 @@ Status Connection::BulkLoad(const std::string& table,
       decoded.push_back(std::move(t));
     }
   }
+  const auto engine = AcquireEngine();
   return engine_->BulkLoad(table, decoded);
 }
 
@@ -312,7 +326,8 @@ Status Connection::InsertLoad(const std::string& table,
     sql += ")";
     const auto wire = AcquireWire();
     TANGO_RETURN_IF_ERROR(StatementGate(sql, control, nullptr));
-    TANGO_RETURN_IF_ERROR(engine_->Execute(sql).status());
+    const auto engine = AcquireEngine();
+    TANGO_RETURN_IF_ERROR(engine_->Execute(sql, session_).status());
   }
   return Status::OK();
 }
@@ -320,13 +335,21 @@ Status Connection::InsertLoad(const std::string& table,
 Result<TableStats> Connection::GetTableStats(const std::string& table) {
   const auto wire = AcquireWire();
   PaceRoundTrip();
+  const auto engine = AcquireEngine();
   TANGO_ASSIGN_OR_RETURN(const Table* t, engine_->catalog().GetTable(table));
-  return t->stats();
+  // The staleness fields come from the live table, not the (possibly old)
+  // ANALYZE output: a reader compares the epoch it cached statistics at
+  // against the epoch it sees now.
+  TableStats stats = t->stats();
+  stats.epoch = t->stats_epoch();
+  stats.mods_since_analyze = t->mods_since_analyze();
+  return stats;
 }
 
 Result<Schema> Connection::GetTableSchema(const std::string& table) {
   const auto wire = AcquireWire();
   PaceRoundTrip();
+  const auto engine = AcquireEngine();
   TANGO_ASSIGN_OR_RETURN(const Table* t, engine_->catalog().GetTable(table));
   return t->schema();
 }
@@ -335,11 +358,19 @@ Result<std::vector<std::string>> Connection::ListTables(
     const std::string& prefix) {
   const auto wire = AcquireWire();
   PaceRoundTrip();
+  const auto engine = AcquireEngine();
   std::vector<std::string> names;
   for (const std::string& name : engine_->catalog().TableNames()) {
     if (name.rfind(prefix, 0) == 0) names.push_back(name);
   }
   return names;
+}
+
+Result<size_t> Connection::ReclaimWalSegments() {
+  const auto wire = AcquireWire();
+  PaceRoundTrip();
+  const auto engine = AcquireEngine();
+  return engine_->ReclaimWalSegments();
 }
 
 }  // namespace dbms

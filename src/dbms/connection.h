@@ -62,7 +62,7 @@ struct WireCounters {
 class Connection {
  public:
   explicit Connection(Engine* engine, WireConfig config = WireConfig())
-      : engine_(engine), config_(config) {}
+      : engine_(engine), config_(config), session_(engine->NewSession()) {}
 
   const WireConfig& config() const { return config_; }
   WireConfig& config() { return config_; }
@@ -121,6 +121,16 @@ class Connection {
   /// views); the temp-table janitor's orphan scan.
   Result<std::vector<std::string>> ListTables(const std::string& prefix);
 
+  /// Asks the server to reclaim WAL segments covered by the latest
+  /// checkpoint snapshot (the janitor's durable-garbage sweep); returns how
+  /// many files were removed. No-op (0) on a volatile engine.
+  Result<size_t> ReclaimWalSegments();
+
+  /// The engine session this connection's statements run under — explicit
+  /// transactions (BEGIN .. COMMIT) are scoped to it, so two Connections
+  /// never share a transaction.
+  uint64_t session() const { return session_; }
+
   /// Applies pacing for `bytes` crossing the link (used internally and by
   /// the remote cursor). Callers must hold the wire lock.
   void PaceBytes(size_t bytes);
@@ -136,6 +146,14 @@ class Connection {
   /// JDBC connection shared by synchronized accessors.
   std::unique_lock<std::mutex> AcquireWire() {
     return std::unique_lock<std::mutex>(wire_mu_);
+  }
+
+  /// Serializes access to the shared engine across Connections (the engine
+  /// does not lock internally). Lock order: own wire lock first, then this —
+  /// never the reverse. Held only around the engine call itself, not around
+  /// pacing, so concurrent connections overlap their simulated wire time.
+  std::unique_lock<std::mutex> AcquireEngine() {
+    return std::unique_lock<std::mutex>(engine_->statement_mutex());
   }
 
  private:
@@ -158,6 +176,7 @@ class Connection {
   obs::Counter* m_bytes_to_server_ = nullptr;
   FaultInjectorPtr fault_;
   std::mutex wire_mu_;
+  uint64_t session_ = 0;
 };
 
 }  // namespace dbms

@@ -17,6 +17,12 @@ const char* FaultKindName(FaultKind kind) {
       return "wire-corrupt";
     case FaultKind::kLatencySpike:
       return "latency-spike";
+    case FaultKind::kWalCrash:
+      return "wal-crash";
+    case FaultKind::kWalTornWrite:
+      return "wal-torn-write";
+    case FaultKind::kWalPartialFsync:
+      return "wal-partial-fsync";
   }
   return "unknown";
 }
@@ -73,6 +79,10 @@ FaultInjector::StatementDecision FaultInjector::OnStatement(
       decision.fault_result_cursor = true;
       break;
     case FaultKind::kNone:
+    case FaultKind::kWalCrash:
+    case FaultKind::kWalTornWrite:
+    case FaultKind::kWalPartialFsync:
+      // WAL kinds fire on the log-device hooks, not at statement issue.
       break;
   }
   return decision;
@@ -100,10 +110,42 @@ FaultInjector::BatchFault FaultInjector::OnBatch(uint64_t batch_no) {
 
 uint64_t FaultInjector::NextSalt() {
   std::lock_guard<std::mutex> lock(mu_);
+  return NextSaltLocked();
+}
+
+uint64_t FaultInjector::NextSaltLocked() {
   uint64_t z = (salt_state_ += 0x9E3779B97F4A7C15ull);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
+}
+
+FaultInjector::WalDecision FaultInjector::OnWal(bool is_sync, uint64_t lsn,
+                                                uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalDecision decision;
+  if (!ArmedLocked() || lsn < plan_.wal_lsn) return decision;
+  switch (plan_.kind) {
+    case FaultKind::kWalCrash:
+      if (is_sync) return decision;
+      decision.action = WalDecision::Action::kCrash;
+      break;
+    case FaultKind::kWalTornWrite:
+      if (is_sync) return decision;
+      decision.action = WalDecision::Action::kTorn;
+      decision.keep_bytes = bytes == 0 ? 0 : NextSaltLocked() % bytes;
+      break;
+    case FaultKind::kWalPartialFsync:
+      if (!is_sync) return decision;
+      decision.action = WalDecision::Action::kPartialFsync;
+      decision.keep_bytes = bytes == 0 ? 0 : NextSaltLocked() % bytes;
+      break;
+    default:
+      return decision;
+  }
+  ++fired_;
+  ++total_fired_;
+  return decision;
 }
 
 }  // namespace dbms

@@ -24,6 +24,15 @@ enum class FaultKind {
   kWireCorrupt,
   /// The round trip stalls (drives the deadline/timeout path).
   kLatencySpike,
+  /// The server process dies before the WAL record at/after `wal_lsn`
+  /// reaches the log buffer.
+  kWalCrash,
+  /// The WAL record at/after `wal_lsn` is torn: only a seeded prefix of its
+  /// frame reaches the disk before the process dies.
+  kWalTornWrite,
+  /// The fsync at/after `wal_lsn` lies: only a seeded prefix of the pending
+  /// log buffer persists before the process dies.
+  kWalPartialFsync,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -47,6 +56,10 @@ struct FaultPlan {
   /// (empty = all). Lets a test target e.g. the TRANSFER^D CREATE without
   /// counting statement positions.
   std::string sql_substring;
+  /// For the WAL kinds: the first log sequence number at which the fault may
+  /// fire (0 = the very first logged record). Sweeping this over every lsn a
+  /// workload produces yields the crash matrix.
+  uint64_t wal_lsn = 0;
   double latency_seconds = 5e-3;
   /// Seeds the truncation point / flipped-bit choice.
   uint64_t seed = 0xfa017;
@@ -90,10 +103,29 @@ class FaultInjector {
   /// every call so repeated corruptions differ deterministically.
   uint64_t NextSalt();
 
+  /// Outcome of the WAL device hooks (mirrors storage::WalFault without a
+  /// dbms -> storage dependency in this header's clients).
+  struct WalDecision {
+    enum class Action { kNone, kCrash, kTorn, kPartialFsync };
+    Action action = Action::kNone;
+    /// Bytes of the frame / pending buffer that survive (kTorn /
+    /// kPartialFsync).
+    uint64_t keep_bytes = 0;
+  };
+
+  /// Called by the engine's log-device adapter: once per WAL append
+  /// (is_sync = false, lsn = the record's lsn, bytes = its framed size) and
+  /// once per WAL sync (is_sync = true, lsn = the log end, bytes = the
+  /// pending-buffer size). kWalCrash and kWalTornWrite fire on appends,
+  /// kWalPartialFsync on syncs, each at the first event with
+  /// lsn >= plan.wal_lsn.
+  WalDecision OnWal(bool is_sync, uint64_t lsn, uint64_t bytes);
+
  private:
   bool ArmedLocked() const {
     return plan_.kind != FaultKind::kNone && fired_ < plan_.times;
   }
+  uint64_t NextSaltLocked();
 
   mutable std::mutex mu_;
   FaultPlan plan_;

@@ -1,0 +1,62 @@
+#ifndef TANGO_DBMS_LOCK_TABLE_H_
+#define TANGO_DBMS_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tango {
+namespace dbms {
+
+/// \brief Table-level exclusive locks with NO WAIT semantics.
+///
+/// The durable write path serializes writers per table: a transaction takes
+/// an exclusive lock on every table it mutates and keeps it until commit or
+/// rollback (strict two-phase). Lock conflicts do not queue — the requester
+/// gets kAborted immediately (retryable, like the paper's transient
+/// middleware faults), which makes deadlock impossible and keeps the churn
+/// workload's retry loop honest.
+class LockTable {
+ public:
+  /// Locks `table` exclusively for `txn`; reentrant for the owner. A
+  /// conflict returns kAborted at once (no wait).
+  Status TryLockExclusive(const std::string& table, uint64_t txn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = owners_.try_emplace(table, txn);
+    if (!inserted && it->second != txn) {
+      return Status::Aborted("table " + table + " locked by txn " +
+                             std::to_string(it->second));
+    }
+    return Status::OK();
+  }
+
+  /// Releases every lock `txn` holds (commit / rollback).
+  void ReleaseAll(uint64_t txn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = owners_.begin(); it != owners_.end();) {
+      if (it->second == txn) {
+        it = owners_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t held() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return owners_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> owners_;  // table -> owning txn
+};
+
+}  // namespace dbms
+}  // namespace tango
+
+#endif  // TANGO_DBMS_LOCK_TABLE_H_

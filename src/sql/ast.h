@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/schema.h"
@@ -79,6 +80,21 @@ struct CreateIndexStmt {
   std::string column;
 };
 
+/// UPDATE table SET col = expr, ... [WHERE pred] — the temporal-update
+/// pattern closes the current version (SET T2 = now) before a new version
+/// is inserted.
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> sets;  // column -> new value
+  ExprPtr where;  // null = all rows
+};
+
+/// BEGIN / COMMIT / ROLLBACK / CHECKPOINT.
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kRollback, kCheckpoint };
+  Kind kind = Kind::kBegin;
+};
+
 /// A parsed SQL statement (exactly one member is set).
 struct Statement {
   std::shared_ptr<SelectStmt> select;
@@ -87,6 +103,8 @@ struct Statement {
   std::shared_ptr<DropTableStmt> drop_table;
   std::shared_ptr<AnalyzeStmt> analyze;
   std::shared_ptr<CreateIndexStmt> create_index;
+  std::shared_ptr<UpdateStmt> update;
+  std::shared_ptr<TxnStmt> txn;
 };
 
 }  // namespace sql

@@ -22,6 +22,8 @@ const std::unordered_set<std::string>& Keywords() {
       // Temporal-SQL extensions (shared lexer).
       "TEMPORAL", "OVERLAPS", "PERIOD", "OVER", "TIME", "COALESCE",
       "CONTAINS", "EXCEPT", "INDEX",
+      // Durable write path.
+      "UPDATE", "SET", "BEGIN", "COMMIT", "ROLLBACK", "CHECKPOINT",
   };
   return kKeywords;
 }

@@ -82,6 +82,39 @@ Result<Statement> Parser::ParseStatement(TokenStream* ts) {
     stmt.drop_table = std::move(drop);
     return stmt;
   }
+  if (ts->AcceptKeyword("UPDATE")) {
+    auto upd = std::make_shared<UpdateStmt>();
+    TANGO_ASSIGN_OR_RETURN(upd->table, ts->ExpectIdentifier());
+    TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("SET"));
+    do {
+      std::string column;
+      TANGO_ASSIGN_OR_RETURN(column, ts->ExpectIdentifier());
+      TANGO_RETURN_IF_ERROR(ts->ExpectSymbol("="));
+      TANGO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpression(ts));
+      upd->sets.emplace_back(std::move(column), std::move(value));
+    } while (ts->AcceptSymbol(","));
+    if (ts->AcceptKeyword("WHERE")) {
+      TANGO_ASSIGN_OR_RETURN(upd->where, ParseExpression(ts));
+    }
+    stmt.update = std::move(upd);
+    return stmt;
+  }
+  if (ts->PeekKeyword("BEGIN") || ts->PeekKeyword("COMMIT") ||
+      ts->PeekKeyword("ROLLBACK") || ts->PeekKeyword("CHECKPOINT")) {
+    auto txn = std::make_shared<TxnStmt>();
+    if (ts->AcceptKeyword("BEGIN")) {
+      txn->kind = TxnStmt::Kind::kBegin;
+    } else if (ts->AcceptKeyword("COMMIT")) {
+      txn->kind = TxnStmt::Kind::kCommit;
+    } else if (ts->AcceptKeyword("ROLLBACK")) {
+      txn->kind = TxnStmt::Kind::kRollback;
+    } else {
+      TANGO_RETURN_IF_ERROR(ts->ExpectKeyword("CHECKPOINT"));
+      txn->kind = TxnStmt::Kind::kCheckpoint;
+    }
+    stmt.txn = std::move(txn);
+    return stmt;
+  }
   if (ts->AcceptKeyword("ANALYZE")) {
     auto an = std::make_shared<AnalyzeStmt>();
     if (ts->Peek().type == TokenType::kIdentifier) {

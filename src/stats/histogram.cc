@@ -107,5 +107,21 @@ std::string Histogram::ToString() const {
   return out;
 }
 
+std::vector<Histogram::BucketSpec> Histogram::DumpBuckets() const {
+  std::vector<BucketSpec> out;
+  out.reserve(buckets_.size());
+  for (const Bucket& b : buckets_) out.push_back({b.lo, b.hi, b.count});
+  return out;
+}
+
+Histogram Histogram::FromBuckets(const std::vector<BucketSpec>& buckets) {
+  Histogram h;
+  for (const BucketSpec& b : buckets) {
+    h.buckets_.push_back({b.lo, b.hi, b.count});
+    h.total_ += b.count;
+  }
+  return h;
+}
+
 }  // namespace stats
 }  // namespace tango

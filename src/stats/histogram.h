@@ -30,6 +30,18 @@ class Histogram {
   static Histogram BuildEquiWidth(std::vector<double> values,
                                   size_t num_buckets);
 
+  /// One bucket's boundaries and count, exposed for checkpoint snapshots.
+  struct BucketSpec {
+    double lo = 0;
+    double hi = 0;
+    double count = 0;
+  };
+
+  /// Dumps the buckets for serialization; FromBuckets rebuilds the identical
+  /// histogram (total = sum of counts).
+  std::vector<BucketSpec> DumpBuckets() const;
+  static Histogram FromBuckets(const std::vector<BucketSpec>& buckets);
+
   bool empty() const { return buckets_.empty(); }
   size_t num_buckets() const { return buckets_.size(); }
 

@@ -26,6 +26,7 @@ RelStats FromTableStats(const dbms::TableStats& ts, const Schema& schema) {
   RelStats rel;
   rel.cardinality = ts.cardinality;
   rel.avg_tuple_bytes = ts.avg_tuple_bytes;
+  rel.source_epoch = ts.epoch;
   rel.columns.resize(schema.num_columns());
   // Distribute the average tuple size over the columns: fixed 9 bytes for
   // numerics (8 + wire tag), the remainder across the string columns.

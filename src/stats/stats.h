@@ -36,6 +36,11 @@ struct RelStats {
   double cardinality = 0;
   double avg_tuple_bytes = 0;
   std::vector<ColumnInfo> columns;  // parallel to the schema
+  /// The table's modification epoch at collection time (base relations
+  /// only; 0 for intermediates). The middleware compares it against the
+  /// live epoch to decide whether these statistics are stale — see
+  /// Middleware::RefreshStatisticsIfStale.
+  uint64_t source_epoch = 0;
 
   /// The paper's size(r): total bytes = cardinality x average tuple size.
   double size() const { return cardinality * avg_tuple_bytes; }

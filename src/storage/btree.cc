@@ -64,6 +64,37 @@ void BPlusTree::InsertNonFull(Node* node, const Value& key, const Rid& rid) {
   InsertNonFull(node->children[i].get(), key, rid);
 }
 
+bool BPlusTree::Remove(const Value& key, const Rid& rid) {
+  // Descend with lower_bound (mirrors FindLeaf) to the leftmost leaf that can
+  // hold `key`, then walk the duplicate run along the leaf chain. Lazy
+  // deletion: the entry is erased but nodes are never merged; empty leaves
+  // stay on the chain and iterators skip them.
+  Node* n = root_.get();
+  while (!n->leaf) {
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[i].get();
+  }
+  while (n != nullptr) {
+    const auto first =
+        std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    size_t i = static_cast<size_t>(first - n->keys.begin());
+    if (i < n->keys.size() && key < n->keys[i]) return false;  // past the run
+    for (; i < n->keys.size() && !(key < n->keys[i]); ++i) {
+      if (n->rids[i] == rid) {
+        n->keys.erase(n->keys.begin() + i);
+        n->rids.erase(n->rids.begin() + i);
+        --size_;
+        return true;
+      }
+    }
+    if (i < n->keys.size()) return false;  // run ended inside this leaf
+    n = n->next;  // run (or empty leaf) continues on the chain
+  }
+  return false;
+}
+
 size_t BPlusTree::height() const {
   size_t h = 1;
   const Node* n = root_.get();

@@ -25,6 +25,11 @@ class BPlusTree {
   /// Inserts a (key, rid) entry; duplicate keys are kept in insert order.
   void Insert(const Value& key, const Rid& rid);
 
+  /// Removes the entry matching (key, rid) exactly; false if absent.
+  /// Deletion is lazy: entries leave their leaf but nodes never merge, so a
+  /// leaf may become empty (iterators skip empty leaves on the chain).
+  bool Remove(const Value& key, const Rid& rid);
+
   size_t size() const { return size_; }
   size_t height() const;
 

@@ -5,13 +5,20 @@
 #include <vector>
 
 #include "common/schema.h"
+#include "common/wire.h"
 #include "storage/page.h"
 
 namespace tango {
 namespace storage {
 
-/// \brief Append-only heap file of pages; the physical representation of
-/// every DBMS table (base tables and the `T^D` temporaries alike).
+/// \brief Heap file of pages; the physical representation of every DBMS
+/// table (base tables and the `T^D` temporaries alike).
+///
+/// The read path is append/scan only; the durable write path adds in-place
+/// updates (the temporal-update pattern rewrites the current version's T2),
+/// tombstone deletes (transaction undo marks inserted rows dead rather than
+/// compacting), and LSN stamping so recovery's redo is idempotent. Scans and
+/// statistics see live rows only.
 class HeapFile {
  public:
   explicit HeapFile(Schema schema, size_t page_size = kDefaultPageSize)
@@ -20,14 +27,36 @@ class HeapFile {
   const Schema& schema() const { return schema_; }
 
   /// Appends a tuple, returning its record id.
-  Rid Append(const Tuple& tuple);
+  Rid Append(const Tuple& tuple) { return AppendStamped(tuple, 0); }
 
-  /// Reads the tuple at `rid`.
+  /// Appends a tuple and stamps the target page with the logging LSN
+  /// (0 = unlogged).
+  Rid AppendStamped(const Tuple& tuple, uint64_t lsn);
+
+  /// Replaces the tuple at `rid` in place, stamping the page.
+  Status Update(const Rid& rid, const Tuple& tuple, uint64_t lsn);
+
+  /// Tombstones the tuple at `rid` (idempotent), stamping the page.
+  Status MarkDeleted(const Rid& rid, uint64_t lsn);
+
+  /// Reads the tuple at `rid` (dead or alive — undo reads tombstones).
   Result<Tuple> Get(const Rid& rid) const;
 
+  bool IsDead(const Rid& rid) const;
+  uint64_t PageLsn(uint32_t page) const {
+    return page < pages_.size() ? pages_[page].lsn() : 0;
+  }
+  /// Stamps a page after the fact — the DML path applies first (the rid is
+  /// not known until then), appends the log record, and stamps the page with
+  /// the record's lsn.
+  void StampPageLsn(uint32_t page, uint64_t lsn) {
+    if (page < pages_.size()) pages_[page].StampLsn(lsn);
+  }
+
+  /// Live tuples (dead rows are invisible to scans and statistics).
   size_t num_tuples() const { return num_tuples_; }
   size_t num_pages() const { return pages_.size(); }
-  /// Total encoded bytes — the `size(r)` statistic before averaging.
+  /// Total encoded bytes of live tuples — `size(r)` before averaging.
   size_t total_bytes() const { return total_bytes_; }
   double avg_tuple_bytes() const {
     return num_tuples_ == 0
@@ -35,12 +64,13 @@ class HeapFile {
                : static_cast<double>(total_bytes_) / static_cast<double>(num_tuples_);
   }
 
-  /// \brief Sequential scan yielding tuples (and their rids) page by page.
+  /// \brief Sequential scan yielding live tuples (and their rids) page by
+  /// page; tombstoned rows are skipped.
   class Iterator {
    public:
     explicit Iterator(const HeapFile* file) : file_(file) {}
 
-    /// Advances to the next tuple; false at end of file.
+    /// Advances to the next live tuple; false at end of file.
     bool Next(Tuple* tuple, Rid* rid = nullptr);
 
    private:
@@ -50,6 +80,11 @@ class HeapFile {
   };
 
   Iterator Scan() const { return Iterator(this); }
+
+  /// Serializes pages (boundaries, LSNs, dead marks, raw tuple bytes) for a
+  /// checkpoint snapshot; SerializeFrom rebuilds the identical layout.
+  void SerializeTo(WireWriter* w) const;
+  Status SerializeFrom(WireReader* r);
 
  private:
   Schema schema_;

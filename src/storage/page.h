@@ -1,7 +1,9 @@
 #ifndef TANGO_STORAGE_PAGE_H_
 #define TANGO_STORAGE_PAGE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -18,10 +20,12 @@ constexpr size_t kDefaultPageSize = 8192;
 /// \brief A slotted page holding serialized tuples.
 ///
 /// Tuples are appended at the front of free space; a slot directory at the
-/// logical end records (offset, length) pairs. There is no delete/compact
-/// support — the middleware's `T^D` tables are write-once, matching the
-/// paper's "blocks of the new table do not have to contain any free space
-/// because the table will never be updated".
+/// logical end records (offset, length) pairs. The write path adds in-place
+/// rewrites (temporal updates timestamp the current version's T2), a dead
+/// mark per slot (transaction undo never compacts — it tombstones, like a
+/// real slotted page's delete), and a page LSN: the LSN of the last logged
+/// change applied to the page, which makes recovery's redo idempotent
+/// (redo skips any record whose LSN the page has already seen).
 class Page {
  public:
   explicit Page(size_t capacity = kDefaultPageSize) : capacity_(capacity) {}
@@ -32,24 +36,71 @@ class Page {
     if (used_ + encoded.size() + kSlotOverhead > capacity_ && !slots_.empty()) {
       return -1;
     }
+    return AppendForce(encoded);
+  }
+
+  /// Appends without the capacity check — snapshot reconstruction must
+  /// restore the original page boundaries even for pages that grew past
+  /// capacity through rewrites.
+  int AppendForce(const std::vector<uint8_t>& encoded) {
     Slot s;
     s.offset = static_cast<uint32_t>(data_.size());
     s.length = static_cast<uint32_t>(encoded.size());
     data_.insert(data_.end(), encoded.begin(), encoded.end());
     slots_.push_back(s);
+    dead_.push_back(0);
     used_ += encoded.size() + kSlotOverhead;
     return static_cast<int>(slots_.size() - 1);
+  }
+
+  /// Replaces the tuple in `slot`: in place when the new image fits the old
+  /// footprint, otherwise the bytes move to the end of the data area and the
+  /// slot is repointed (the page may then exceed its nominal capacity; the
+  /// append path never chooses it again once full, so the overflow is
+  /// bounded by one tuple's growth per rewrite).
+  Status Rewrite(size_t slot, const std::vector<uint8_t>& encoded) {
+    if (slot >= slots_.size()) return Status::NotFound("bad slot");
+    Slot& s = slots_[slot];
+    if (encoded.size() <= s.length) {
+      std::copy(encoded.begin(), encoded.end(), data_.begin() + s.offset);
+      used_ -= s.length - encoded.size();
+      s.length = static_cast<uint32_t>(encoded.size());
+      return Status::OK();
+    }
+    used_ += encoded.size() - s.length;
+    s.offset = static_cast<uint32_t>(data_.size());
+    s.length = static_cast<uint32_t>(encoded.size());
+    data_.insert(data_.end(), encoded.begin(), encoded.end());
+    return Status::OK();
   }
 
   size_t num_slots() const { return slots_.size(); }
   size_t used_bytes() const { return used_; }
 
-  /// Decodes the tuple in the given slot.
+  /// Decodes the tuple in the given slot (dead or alive — undo and
+  /// diagnostics read tombstoned rows; scans skip them via `dead()`).
   Result<Tuple> Read(size_t slot) const {
     if (slot >= slots_.size()) return Status::NotFound("bad slot");
     const Slot& s = slots_[slot];
     WireReader reader(data_.data() + s.offset, s.length);
     return reader.GetTuple();
+  }
+
+  /// Raw encoded bytes of a slot (snapshot serialization).
+  std::pair<const uint8_t*, uint32_t> SlotBytes(size_t slot) const {
+    const Slot& s = slots_[slot];
+    return {data_.data() + s.offset, s.length};
+  }
+  uint32_t SlotLength(size_t slot) const { return slots_[slot].length; }
+
+  bool dead(size_t slot) const { return dead_[slot] != 0; }
+  void MarkDead(size_t slot) { dead_[slot] = 1; }
+
+  /// LSN of the last logged change applied to this page; redo of any record
+  /// with lsn <= page lsn is skipped (idempotence).
+  uint64_t lsn() const { return lsn_; }
+  void StampLsn(uint64_t lsn) {
+    if (lsn > lsn_) lsn_ = lsn;
   }
 
  private:
@@ -61,8 +112,10 @@ class Page {
 
   size_t capacity_;
   size_t used_ = 0;
+  uint64_t lsn_ = 0;
   std::vector<uint8_t> data_;
   std::vector<Slot> slots_;
+  std::vector<uint8_t> dead_;  // parallel to slots_
 };
 
 /// Record identifier: page number and slot within the page.

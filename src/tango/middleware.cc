@@ -447,7 +447,39 @@ Status Middleware::SweepOrphanTempTables() {
       first_failure = s;
     }
   }
+  // Durable garbage: WAL segments and snapshot files wholly covered by the
+  // latest checkpoint. Best effort, like the drops — a crashed engine (or a
+  // volatile one, which reclaims nothing) must not fail the sweep.
+  const Result<size_t> reclaimed = connection_.ReclaimWalSegments();
+  if (reclaimed.ok() && reclaimed.ValueOrDie() > 0) {
+    recovery_.wal_segments_reclaimed.Increment(reclaimed.ValueOrDie());
+  }
   return first_failure;
+}
+
+Result<size_t> Middleware::RefreshStatisticsIfStale(
+    const std::vector<std::string>& tables, bool analyze_first) {
+  size_t refreshed = 0;
+  std::vector<std::string> stale;
+  for (const std::string& t : tables) {
+    const std::string key = ToUpper(t);
+    const auto it = table_stats_.find(key);
+    if (it != table_stats_.end()) {
+      TANGO_ASSIGN_OR_RETURN(const dbms::TableStats live,
+                             connection_.GetTableStats(key));
+      if (live.epoch == it->second.source_epoch) continue;  // still fresh
+    }
+    if (analyze_first) {
+      TANGO_RETURN_IF_ERROR(
+          connection_.Execute("ANALYZE " + key).status());
+    }
+    stale.push_back(key);
+    ++refreshed;
+  }
+  // CollectStatistics re-pulls and invalidates cached plans; untouched
+  // tables keep their statistics and plans.
+  if (!stale.empty()) TANGO_RETURN_IF_ERROR(CollectStatistics(stale));
+  return refreshed;
 }
 
 Result<std::string> Middleware::Explain(const Prepared& prepared) {

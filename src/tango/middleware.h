@@ -122,13 +122,25 @@ class Middleware {
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// Drops TANGO_TMP_* tables left behind by a previous run that died
-  /// before its janitor could clean up. Returns the first drop failure
+  /// before its janitor could clean up, then asks the DBMS to reclaim WAL
+  /// segments and snapshots superseded by the latest checkpoint (orphaned
+  /// durable garbage after a crash). Returns the first drop failure
   /// (already-swept tables stay counted in recovery_counters).
   Status SweepOrphanTempTables();
 
   /// Statistics Collector: pulls base-relation statistics from the DBMS
   /// catalog for the given tables (or re-pulls everything already known).
   Status CollectStatistics(const std::vector<std::string>& tables);
+
+  /// Write-churn staleness check: compares each table's live modification
+  /// epoch (bumped by every INSERT/UPDATE/bulk load on the DBMS side)
+  /// against the epoch its cached statistics were collected at. Only drifted
+  /// tables are touched: they are re-ANALYZEd on the DBMS (unless
+  /// `analyze_first` is false), re-collected, and their cached plans
+  /// invalidated. Tables with no cached statistics are collected fresh.
+  /// Returns the number of tables refreshed.
+  Result<size_t> RefreshStatisticsIfStale(
+      const std::vector<std::string>& tables, bool analyze_first = true);
 
   /// Access to collected statistics (tests, benches).
   Result<stats::RelStats> TableStatistics(const std::string& table);

@@ -1,0 +1,85 @@
+#include "workload/writer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/date.h"
+
+namespace tango {
+namespace workload {
+
+WriterGenerator::WriterGenerator(dbms::Connection* conn, WriterOptions options)
+    : conn_(conn),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      now_(options_.start_day != 0 ? options_.start_day : date::Jan1(1998)) {}
+
+Status WriterGenerator::RunOne() {
+  const int64_t posid = 1 + rng_.Skewed(options_.num_positions, 0.3);
+  const int64_t empid = rng_.Uniform(0, 49971);
+  now_ += rng_.Uniform(0, 2);
+  const int64_t t2 = now_ + rng_.Uniform(30, 3 * 365);
+  const bool voluntary_abort = rng_.Bernoulli(options_.abort_fraction);
+
+  const std::string now_s = std::to_string(now_);
+  const std::string close_sql = "UPDATE " + options_.table + " SET T2 = " +
+                                now_s + " WHERE PosID = " +
+                                std::to_string(posid) + " AND T2 > " + now_s;
+  const std::string insert_sql =
+      "INSERT INTO " + options_.table + " VALUES (" + std::to_string(posid) +
+      ", " + std::to_string(empid) + ", 'EMP" + std::to_string(empid) +
+      "', " + std::to_string(6.0 + rng_.NextDouble() * 10.0) + ", " +
+      std::to_string(rng_.Uniform(1, 40)) + ", 'ACTIVE', " + now_s + ", " +
+      std::to_string(t2) + ")";
+
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    Status st = Status::OK();
+    const char* stmts[] = {"BEGIN", close_sql.c_str(), insert_sql.c_str(),
+                           voluntary_abort ? "ROLLBACK" : "COMMIT"};
+    for (const char* sql : stmts) {
+      counters_.statements.fetch_add(1, std::memory_order_relaxed);
+      st = conn_->Execute(sql).status();
+      if (!st.ok()) break;
+    }
+    if (st.ok()) {
+      (voluntary_abort ? counters_.txns_rolled_back : counters_.txns_committed)
+          .fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    // Clear whatever is open before deciding; ROLLBACK without an open
+    // transaction is a no-op, so this is always safe.
+    (void)conn_->Execute("ROLLBACK");
+    if (st.code() != StatusCode::kAborted) return st;  // not a lock conflict
+    counters_.lock_retries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(50 + rng_.Uniform(0, 200) * (attempt + 1)));
+  }
+  // Exhausted the conflict budget: counted, not fatal — the stream goes on.
+  counters_.txns_failed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WriterGenerator::Run(size_t txns) {
+  for (size_t i = 0; i < txns && !stop_.load(std::memory_order_relaxed); ++i) {
+    TANGO_RETURN_IF_ERROR(RunOne());
+  }
+  return Status::OK();
+}
+
+void WriterGenerator::Start(size_t txns) {
+  if (running_.exchange(true)) return;
+  stop_.store(false);
+  background_status_ = Status::OK();
+  thread_ = std::thread([this, txns] { background_status_ = Run(txns); });
+}
+
+Status WriterGenerator::Stop() {
+  if (!running_.load()) return Status::OK();
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  return background_status_;
+}
+
+}  // namespace workload
+}  // namespace tango

@@ -1,0 +1,93 @@
+#ifndef TANGO_WORKLOAD_WRITER_H_
+#define TANGO_WORKLOAD_WRITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "dbms/connection.h"
+
+namespace tango {
+namespace workload {
+
+/// Knobs of the temporal-update churn stream.
+struct WriterOptions {
+  std::string table = "POSITION";
+  uint64_t seed = 99;
+  /// Fraction of transactions voluntarily rolled back (exercises undo).
+  double abort_fraction = 0.1;
+  /// Lock-conflict (kAborted) retries per transaction before giving up.
+  int max_retries = 64;
+  /// Position-id universe the churn picks from (matches the generator's
+  /// ~20-assignments-per-position density when table size / 20).
+  int64_t num_positions = 4000;
+  /// The advancing "current time": the first transaction's day.
+  int64_t start_day = 0;  // 0 = 1998-01-01
+};
+
+/// What the stream did (reads are safe while the writer runs).
+struct WriterCounters {
+  std::atomic<uint64_t> txns_committed{0};
+  std::atomic<uint64_t> txns_rolled_back{0};
+  std::atomic<uint64_t> lock_retries{0};
+  std::atomic<uint64_t> txns_failed{0};  // retry budget exhausted
+  std::atomic<uint64_t> statements{0};
+};
+
+/// \brief Streams temporal-update transactions against a live table while
+/// queries run — the churn half of the durability experiments.
+///
+/// Each transaction is the canonical temporal-update pattern over the
+/// POSITION-shaped table: BEGIN; close the position's open versions
+/// (UPDATE .. SET T2 = now WHERE PosID = p AND T2 > now); INSERT the new
+/// version valid from `now`; COMMIT — or ROLLBACK for an `abort_fraction`
+/// of transactions. Time advances monotonically across transactions.
+///
+/// A lock conflict (the engine's no-wait table locks return kAborted)
+/// rolls the transaction back and retries it with fresh jittered backoff;
+/// the whole stream is single-threaded over its own Connection (its own
+/// engine session), so it conflicts only with other writers, never with
+/// itself.
+class WriterGenerator {
+ public:
+  WriterGenerator(dbms::Connection* conn, WriterOptions options);
+  ~WriterGenerator() { (void)Stop(); }
+
+  WriterGenerator(const WriterGenerator&) = delete;
+  WriterGenerator& operator=(const WriterGenerator&) = delete;
+
+  /// Runs `txns` transactions synchronously on the calling thread.
+  Status Run(size_t txns);
+
+  /// Starts the stream on a background thread (runs until Stop or until
+  /// `txns` transactions completed). No-op if already running.
+  void Start(size_t txns = SIZE_MAX);
+
+  /// Stops the background stream and joins it; returns the first error the
+  /// stream hit (retry exhaustion is counted, not an error).
+  Status Stop();
+
+  const WriterCounters& counters() const { return counters_; }
+
+ private:
+  /// One churn transaction, including conflict retries.
+  Status RunOne();
+
+  dbms::Connection* conn_;
+  WriterOptions options_;
+  Rng rng_;
+  int64_t now_;
+  WriterCounters counters_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  Status background_status_;
+};
+
+}  // namespace workload
+}  // namespace tango
+
+#endif  // TANGO_WORKLOAD_WRITER_H_
